@@ -1,0 +1,16 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Each benchmark regenerates one paper table/figure via the corresponding
+``repro.experiments`` module (small request counts for bounded runtime),
+records the headline numbers in ``benchmark.extra_info``, and asserts
+the paper's qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

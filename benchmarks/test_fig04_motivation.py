@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 4(b) — the motivating VGG11+ResNet50 pair.
+
+Paper: static 16.8 ms, unbounded 13.1 ms, biased ~14.3 ms, BLESS
+11.3 ms average.  The shape to hold: BLESS wins, static/temporal lose.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig04_motivation import run
+
+
+def test_fig04_motivation(benchmark):
+    data = run_once(benchmark, run)
+    assert data["BLESS"]["avg"] <= data["GSLICE"]["avg"]
+    assert data["BLESS"]["avg"] <= data["TEMPORAL"]["avg"]
+    assert data["BLESS"]["avg"] <= data["UNBOUND"]["avg"]
+    benchmark.extra_info["avg_latency_ms"] = {
+        name: round(stats["avg"], 2) for name, stats in data.items()
+    }

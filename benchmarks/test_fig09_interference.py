@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 9 — kernel- and application-level interference.
+
+Paper anchors: kernel-level slowdown <= 2x; mutual-pair app-level
+interference ~7% on average.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig09_interference import run
+
+
+def test_fig09_interference(benchmark):
+    data = run_once(benchmark, run)
+    assert data["max_kernel_slowdown"] <= 2.0 + 1e-9
+    assert 1.02 < data["mean_app_slowdown"] < 1.15
+    benchmark.extra_info["kernel_level"] = {
+        f"{p:.1f}": round(s, 2) for p, s in data["kernel_level"].items()
+    }
+    benchmark.extra_info["mean_app_slowdown"] = round(data["mean_app_slowdown"], 3)

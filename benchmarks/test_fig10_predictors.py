@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 10 — squad-duration predictor accuracy.
+
+Paper: 6.7%/7.1% mean prediction error, 96.2% optimal-config match.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig10_predictors import run
+
+
+def test_fig10_predictors(benchmark):
+    data = run_once(benchmark, run, pairs=12)
+    assert data["mean_prediction_error"] < 0.15
+    assert data["top1_match_rate"] >= 0.7
+    benchmark.extra_info["mean_prediction_error"] = round(
+        data["mean_prediction_error"], 3
+    )
+    benchmark.extra_info["top1_match_rate"] = round(data["top1_match_rate"], 3)
+    benchmark.extra_info["nas_r50_optimum"] = {
+        "predicted": data["best_predicted_config"],
+        "measured": data["best_measured_config"],
+    }

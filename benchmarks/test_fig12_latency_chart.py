@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 12 — pair-wise latency charts under BLESS.
+
+Shape: BLESS's per-app latencies track (and mostly beat) the ISO
+targets across all seven Table-2 quota splits, moving toward the
+origin as the load drops.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig12_latency_chart import run
+
+
+def test_fig12_latency_chart(benchmark):
+    points = run_once(benchmark, run, model_a="R50", model_b="VGG",
+                      load="C", requests=5)
+    assert len(points) == 7
+    beats_iso = sum(
+        1
+        for p in points
+        if p["bless_a_ms"] <= p["iso_a_ms"] and p["bless_b_ms"] <= p["iso_b_ms"]
+    )
+    assert beats_iso >= 4  # most quota splits dominate ISO
+    benchmark.extra_info["points"] = [
+        {
+            "quotas": f"({p['quota_a']:.2f},{p['quota_b']:.2f})",
+            "bless": (round(p["bless_a_ms"], 1), round(p["bless_b_ms"], 1)),
+            "iso": (round(p["iso_a_ms"], 1), round(p["iso_b_ms"], 1)),
+        }
+        for p in points
+    ]

@@ -1,0 +1,41 @@
+"""Bench: regenerate Fig. 13 — overall performance, symmetric pairs.
+
+Paper: BLESS reduces average latency by 37.3/34.2/21.1/16.5/13.5% vs
+TEMPORAL/MIG/GSLICE/UNBOUND/REEF+; training by 26.5/7.5/12.5/9.9% vs
+TEMPORAL/MIG/UNBOUND/ZICO; < 3% over GSLICE at full saturation.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13_overall import (
+    run_inference,
+    run_saturation,
+    run_training,
+)
+
+
+def test_fig13_inference(benchmark):
+    data = run_once(benchmark, run_inference, requests=8)
+    reductions = data["reductions"]
+    assert reductions["TEMPORAL"] > 0.05
+    assert reductions["MIG"] > 0.05
+    assert reductions["GSLICE"] > 0.0
+    benchmark.extra_info["reductions"] = {
+        name: f"{value:.1%}" for name, value in reductions.items()
+    }
+
+
+def test_fig13_training(benchmark):
+    data = run_once(benchmark, run_training, requests=2)
+    for row in data["rows"]:
+        assert row["BLESS"] < row["TEMPORAL"]
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 1) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in data["rows"]
+    ]
+
+
+def test_fig13_saturation(benchmark):
+    sat = run_once(benchmark, run_saturation, requests=8)
+    assert sat["overhead"] < 0.15
+    benchmark.extra_info["overhead_vs_gslice"] = f"{sat['overhead']:.1%}"

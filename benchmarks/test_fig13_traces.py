@@ -1,0 +1,29 @@
+"""Bench: regenerate the workload-D (real-world trace) comparison.
+
+Paper: with the dense Twitter trace BLESS cuts 18.4/20.5/7.3% vs
+TEMPORAL/MIG/GSLICE; with the sparse Azure trace 49.3/41.2/32.1%.
+Shape: BLESS wins on both; the sparse trace gives the bigger cut.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13_traces import run
+
+
+def test_fig13_traces(benchmark):
+    data = run_once(benchmark, run)
+    for trace in ("twitter", "azure"):
+        assert data[trace]["reduction_vs_TEMPORAL"] > 0
+        assert data[trace]["reduction_vs_GSLICE"] > -0.05
+    assert (
+        data["azure"]["reduction_vs_GSLICE"]
+        >= data["twitter"]["reduction_vs_GSLICE"] - 0.05
+    )
+    benchmark.extra_info["reductions"] = {
+        trace: {
+            k.replace("reduction_vs_", ""): f"{v:.1%}"
+            for k, v in stats.items()
+            if k.startswith("reduction")
+        }
+        for trace, stats in data.items()
+    }

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 14 — latency deviation under uneven quotas.
+
+Paper: average deviation TEMPORAL 14.3 ms, GSLICE 2.1 ms, BLESS 0.6 ms
+(MIG infeasible for most splits).  Shape: BLESS lowest.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig14_deviation import run_quick
+
+
+def test_fig14_deviation(benchmark):
+    data = run_once(benchmark, run_quick, requests=5)
+    assert data["BLESS"] < data["TEMPORAL"]
+    benchmark.extra_info["deviation_ms"] = {
+        name: round(value / 1000.0, 2) for name, value in data.items()
+    }

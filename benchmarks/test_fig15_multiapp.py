@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 15 — 4 and 8 co-located applications.
+
+Paper: BLESS cuts 41.2/18.3% (4 apps) and 80.8/35.5% (8 apps) vs
+TEMPORAL/GSLICE, with ~zero latency deviation.  Shape: BLESS wins and
+the margin grows with the app count.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig15_multiapp import run
+
+
+def test_fig15_multiapp(benchmark):
+    data = run_once(benchmark, run, requests=4)
+    for count in (4, 8):
+        assert data[count]["BLESS"]["mean_ms"] < data[count]["GSLICE"]["mean_ms"]
+        assert data[count]["BLESS"]["mean_ms"] < data[count]["TEMPORAL"]["mean_ms"]
+    benchmark.extra_info["mean_ms"] = {
+        f"{count}-apps": {n: round(s["mean_ms"], 1) for n, s in systems.items()}
+        for count, systems in data.items()
+    }

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 16 — the extremely biased workload E.
+
+Paper: App1 pays ~9% latency over ISO under BLESS while App2 gains
+2.2x throughput over GSLICE.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig16_biased import run
+
+
+def test_fig16_biased(benchmark):
+    data = run_once(benchmark, run, requests=8)
+    assert data["_app2_speedup"]["bless_over_gslice"] > 1.5
+    assert data["BLESS"]["app1_vs_iso"] < 0.35
+    benchmark.extra_info["app1_vs_iso"] = f"{data['BLESS']['app1_vs_iso']:+.1%}"
+    benchmark.extra_info["app2_speedup_vs_gslice"] = round(
+        data["_app2_speedup"]["bless_over_gslice"], 2
+    )

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 17 — squad duration under SEQ/NSP/SP/Semi-SP.
+
+Paper: NSP/SP/Semi-SP 6.5/12.9/17.6% shorter than SEQ.
+Shape: all managed policies beat SEQ; spatial policies beat NSP.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig17_squads import run
+
+
+def test_fig17_squads(benchmark):
+    data = run_once(benchmark, run)
+    for pair, stats in data.items():
+        assert stats["SP_us"] < stats["SEQ_us"]
+        assert stats["SemiSP_us"] < stats["SEQ_us"]
+        assert stats["SP_us"] <= stats["NSP_us"] * 1.05
+    benchmark.extra_info["reduction_vs_seq"] = {
+        pair: {
+            "NSP": f"{stats['NSP_vs_SEQ']:.1%}",
+            "SP": f"{stats['SP_vs_SEQ']:.1%}",
+            "SemiSP": f"{stats['SemiSP_vs_SEQ']:.1%}",
+        }
+        for pair, stats in data.items()
+    }

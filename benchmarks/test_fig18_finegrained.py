@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 18 — fine-grained scheduling behaviour.
+
+(a) With 70/30 quotas the 70% request gets more kernels per squad and
+finishes first.  (b) BLESS on a training round beats ZICO (paper -8.5%).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig18_finegrained import run
+
+
+def test_fig18_finegrained(benchmark):
+    data = run_once(benchmark, run)
+    part_a = data["quota_split"]
+    assert part_a["req1_finishes_first"]
+    assert part_a["req1_early_share"][0] > 0.5
+    benchmark.extra_info["req1_early_share"] = [
+        round(s, 2) for s in part_a["req1_early_share"]
+    ]
+    benchmark.extra_info["training_vs_zico"] = f"{data['training']['reduction']:+.1%}"

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 19 — hyper-parameter sweeps.
+
+(a) squad size vs latency and max promisable quota; (b) split ratio
+sweep; (c) SM-count sweep (paper: reduction shrinks 54.4% -> 40.2% as
+SMs grow).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig19_hyperparams import run
+
+
+def test_fig19_hyperparams(benchmark):
+    data = run_once(benchmark, run)
+    sweep = data["split_ratio"]
+    assert min(sweep.values()) == 1.0
+    sm = data["sm_count_reduction"]
+    assert sm[min(sm)] > sm[max(sm)] - 0.05
+    benchmark.extra_info["squad_size_latency_ms"] = {
+        str(k): round(v, 1) for k, v in data["squad_size_latency"].items()
+    }
+    benchmark.extra_info["max_quota_by_squad_size"] = {
+        str(k): round(v, 3) for k, v in data["squad_size_max_quota"].items()
+    }
+    benchmark.extra_info["split_ratio_duration"] = {
+        f"{k:.0%}": round(v, 3) for k, v in sweep.items()
+    }
+    benchmark.extra_info["sm_count_reduction"] = {
+        str(k): f"{v:.1%}" for k, v in sm.items()
+    }

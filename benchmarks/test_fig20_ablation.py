@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 20 — the ablation study.
+
+Paper: +16.5% latency without the multi-task scheduler, a further
++7.6% without the determiner.  Our scheduler's value shows most
+clearly as quota protection (see the uneven-quota deviation block).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig20_ablation import run, run_uneven_deviation
+
+
+def test_fig20_ablation(benchmark):
+    def both():
+        return run(requests=6), run_uneven_deviation(requests=6)
+
+    latency, deviation = run_once(benchmark, both)
+    assert latency["no config determiner"] >= latency["BLESS"] * 0.97
+    assert deviation["no multi-task scheduler"] >= deviation["BLESS"] * 0.8
+    benchmark.extra_info["avg_latency_ms"] = {
+        k: round(v, 2) for k, v in latency.items()
+    }
+    benchmark.extra_info["uneven_quota_deviation_ms"] = {
+        k: round(v, 2) for k, v in deviation.items()
+    }

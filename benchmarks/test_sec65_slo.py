@@ -1,0 +1,20 @@
+"""Bench: regenerate §6.5 — SLO guarantees.
+
+Paper: UNBOUND 38.8% and GSLICE 50.1% QoS violations on average vs
+BLESS 0.6%.
+"""
+
+from conftest import run_once
+
+from repro.experiments.sec65_slo import run
+
+
+def test_sec65_slo(benchmark):
+    data = run_once(benchmark, run, requests=10)
+    for scenario, rates in data.items():
+        assert rates["BLESS"] <= rates["GSLICE"] + 0.05
+        assert rates["BLESS"] <= 0.25
+    benchmark.extra_info["violation_rates"] = {
+        scenario: {k: f"{v:.1%}" for k, v in rates.items()}
+        for scenario, rates in data.items()
+    }

@@ -1,0 +1,23 @@
+"""Bench: regenerate §6.9 — scheduling overhead accounting.
+
+Paper: squad sync 20us, launch 3us, context switch 50us, scheduling
+6.7us/kernel (3.7 + 2 + 1), ~230MB per MPS context.
+"""
+
+from conftest import run_once
+
+from repro.experiments.sec69_overhead import run
+
+
+def test_sec69_overhead(benchmark):
+    data = run_once(benchmark, run, requests=6)
+    assert data["squad_sync_us"] == 20.0
+    assert data["sched_us_per_kernel"] == 6.7
+    assert data["measured_squads"] > 0
+    benchmark.extra_info["overheads"] = {
+        "squad_sync_us": data["squad_sync_us"],
+        "kernel_launch_us": data["kernel_launch_us"],
+        "context_switch_us": data["context_switch_us"],
+        "sched_us_per_kernel": data["sched_us_per_kernel"],
+        "mps_context_mb": data["mps_context_mb"],
+    }

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 1 (application properties + profiling cost)."""
+
+from conftest import run_once
+
+from repro.experiments.tab01_applications import run
+
+
+def test_tab01_applications(benchmark):
+    table = run_once(benchmark, run)
+    for mode in ("inference", "training"):
+        for model, stats in table[mode].items():
+            assert abs(stats["duration_ms"] - stats["paper_duration_ms"]) < 0.2
+            assert stats["kernels"] == stats["paper_kernels"]
+    benchmark.extra_info["inference_ms"] = {
+        m: round(s["duration_ms"], 1) for m, s in table["inference"].items()
+    }
+    benchmark.extra_info["profile_cost_s"] = {
+        m: round(s["profile_cost_s"], 2) for m, s in table["inference"].items()
+    }

@@ -1,0 +1,23 @@
+"""Bench: tail latencies (extension beyond the paper's averages).
+
+Shape: BLESS's P99 must not exceed GSLICE's by more than a small
+margin on the medium-load pair — bubble squeezing must not buy its
+average with a heavier tail.
+"""
+
+from conftest import run_once
+
+from repro.experiments.tail_latency import run_quick
+
+
+def test_tail_latency(benchmark):
+    data = run_once(benchmark, run_quick, requests=8)
+    for scenario, systems in data.items():
+        assert systems["BLESS"]["p99"] <= systems["GSLICE"]["p99"] * 1.25
+    benchmark.extra_info["percentiles_ms"] = {
+        scenario: {
+            name: {k: round(v, 2) for k, v in stats.items()}
+            for name, stats in systems.items()
+        }
+        for scenario, systems in data.items()
+    }

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: co-locate two DNN inference services on one (simulated) GPU.
+
+Deploys two ResNet50 instances with even 50/50 quotas, drives them with
+the paper's medium load (workload B), and compares BLESS against the
+quota-isolated baseline (ISO) and static MPS partitioning (GSLICE).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BlessRuntime,
+    GSLICESystem,
+    ISOSystem,
+    bind_load,
+    symmetric_pair,
+)
+
+
+def main() -> None:
+    # Two instances of the Table-1 ResNet50 inference app, each
+    # provisioned half the GPU.
+    apps = symmetric_pair("R50", quota_a=0.5, quota_b=0.5)
+    print(f"deployed: {[a.app_id for a in apps]} (quota 50% each)")
+
+    # Workload B: closed loop, think time = 2/3 of the solo latency.
+    results = {}
+    for system in (ISOSystem(), GSLICESystem(), BlessRuntime()):
+        bindings = bind_load(apps, "B", requests=10)
+        results[system.name] = system.serve(bindings)
+
+    print(f"\n{'system':8s} {'avg latency':>12s} {'p95':>8s} {'utilization':>12s}")
+    for name, result in results.items():
+        print(
+            f"{name:8s} {result.mean_of_app_means() / 1000:9.2f} ms "
+            f"{result.percentile_latency(95) / 1000:6.2f} ms "
+            f"{result.utilization:11.1%}"
+        )
+
+    bless = results["BLESS"].mean_of_app_means()
+    gslice = results["GSLICE"].mean_of_app_means()
+    print(
+        f"\nBLESS reduces average latency by {1 - bless / gslice:.1%} vs "
+        f"static MPS partitioning by squeezing GPU bubbles."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Serving with explicit SLO targets (§6.5).
+
+BLESS guarantees QoS targets natively: the scheduler paces each
+application against its target instead of its quota-isolated latency.
+A service with a loose SLO gracefully yields GPU time to one with a
+tight SLO — without either being starved.
+
+Run:  python examples/slo_serving.py
+"""
+
+from repro import (
+    BlessConfig,
+    BlessRuntime,
+    GSLICESystem,
+    UnboundSystem,
+    bind_load,
+    inference_app,
+    qos_violation_rate,
+    solo_latency_us,
+)
+
+
+def main() -> None:
+    # Two services on even 50% quotas, but with asymmetric SLOs:
+    # the R50 service promises 1.2x its isolated latency; the VGG
+    # service is best-effort-ish at 3.0x.
+    apps = [
+        inference_app("R50").with_quota(0.5, app_id="r50-tight"),
+        inference_app("VGG").with_quota(0.5, app_id="vgg-loose"),
+    ]
+    targets = {
+        "r50-tight": 1.2 * solo_latency_us(apps[0], 0.5),
+        "vgg-loose": 3.0 * solo_latency_us(apps[1], 0.5),
+    }
+    print("SLO targets:")
+    for app_id, target in targets.items():
+        print(f"  {app_id:10s} {target / 1000:6.2f} ms")
+
+    bless = BlessRuntime(config=BlessConfig(slo_targets_us=targets))
+    systems = {"UNBOUND": UnboundSystem(), "GSLICE": GSLICESystem(), "BLESS": bless}
+
+    print(f"\n{'system':8s} {'violations':>11s} {'r50-tight':>10s} {'vgg-loose':>10s}")
+    for name, system in systems.items():
+        result = system.serve(bind_load(apps, "B", requests=12))
+        rate = qos_violation_rate(result, targets)
+        print(
+            f"{name:8s} {rate:10.1%} "
+            f"{result.mean_latency('r50-tight') / 1000:8.2f}ms "
+            f"{result.mean_latency('vgg-loose') / 1000:8.2f}ms"
+        )
+
+    print(
+        "\nBLESS meets both targets by feeding the tight-SLO service "
+        "first whenever its deadline is at risk (paper: 0.6% violations "
+        "vs 38.8% / 50.1% for UNBOUND / GSLICE)."
+    )
+
+
+if __name__ == "__main__":
+    main()

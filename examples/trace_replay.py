@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Replaying real-world-shaped traces (workload D, §6.3).
+
+Generates synthetic traces with the shape of the Twitter 2018 stream
+(dense, diurnal) and the Azure Functions trace (sparse, heavy-tailed),
+replays them over several model pairs, and shows where BLESS's bubble
+squeezing pays off most: the sparser the trace, the bigger the gain
+over static partitioning.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.experiments.fig13_traces import run
+from repro.workloads.traces import azure_trace, mean_interarrival, twitter_trace
+
+
+def main() -> None:
+    # Peek at the two trace generators.
+    demo_twitter = twitter_trace(1_000_000, 20_000, seed=1)
+    demo_azure = azure_trace(1_000_000, 20_000, seed=1)
+    print("trace shapes over a 1s window (target mean gap 20 ms):")
+    print(
+        f"  twitter: {len(demo_twitter):3d} arrivals, "
+        f"mean gap {mean_interarrival(demo_twitter) / 1000:5.1f} ms (dense, diurnal)"
+    )
+    print(
+        f"  azure:   {len(demo_azure):3d} arrivals, "
+        f"mean gap {mean_interarrival(demo_azure) / 1000:5.1f} ms (sparse, bursty)"
+    )
+
+    # Replay both traces over four model pairs (the workload-D setup).
+    print("\nreplaying traces over 4 mutual model pairs (this takes a minute)...")
+    data = run()
+    print(f"\n{'trace':8s} {'TEMPORAL':>9s} {'MIG':>8s} {'GSLICE':>8s} {'BLESS':>8s}")
+    for trace, stats in data.items():
+        print(
+            f"{trace:8s} {stats['TEMPORAL']:9.1f} {stats['MIG']:8.1f} "
+            f"{stats['GSLICE']:8.1f} {stats['BLESS']:8.1f}   (ms)"
+        )
+    print("\nBLESS reduction vs GSLICE:")
+    for trace, stats in data.items():
+        print(f"  {trace:8s} {stats['reduction_vs_GSLICE']:6.1%}")
+    print(
+        "\nThe sparser Azure-style trace leaves far more GPU bubbles "
+        "between invocations, which BLESS converts into latency "
+        "(paper: 32.1% vs GSLICE on Azure, 7.3% on Twitter)."
+    )
+
+
+if __name__ == "__main__":
+    main()

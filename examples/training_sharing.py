@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Sharing a GPU between two training jobs (§6.3, Fig. 18(b)).
+
+Two training applications (one iteration = one request) share the GPU
+evenly.  We compare time slicing, MIG, unbounded sharing, Zico-style
+tick-tock coordination, and BLESS.
+
+Run:  python examples/training_sharing.py
+"""
+
+from repro import (
+    BlessRuntime,
+    MIGSystem,
+    TemporalSystem,
+    UnboundSystem,
+    ZicoSystem,
+    bind_load,
+    training_pair,
+)
+
+
+def main() -> None:
+    pair = training_pair("R50", "VGG")
+    for app in pair:
+        print(
+            f"{app.app_id:14s} {app.num_compute_kernels} kernels/iteration, "
+            f"solo iteration {app.solo_span_us / 1000:.1f} ms"
+        )
+
+    print(f"\n{'system':9s} {'avg iteration (ms)':>19s} {'utilization':>12s}")
+    rows = {}
+    for system in (
+        TemporalSystem(),
+        MIGSystem(),
+        UnboundSystem(),
+        ZicoSystem(),
+        BlessRuntime(),
+    ):
+        result = system.serve(bind_load(pair, "C", requests=4))
+        rows[system.name] = result.mean_of_app_means()
+        print(
+            f"{system.name:9s} {result.mean_of_app_means() / 1000:19.2f} "
+            f"{result.utilization:11.1%}"
+        )
+
+    reduction = 1 - rows["BLESS"] / rows["TEMPORAL"]
+    print(
+        f"\nBLESS reduces the average training-iteration latency by "
+        f"{reduction:.1%} vs time slicing by organising each round's "
+        f"kernels into spatially-partitioned squads (paper: 26.5%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

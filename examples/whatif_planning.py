@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Capacity planning with the what-if analyzer (no simulation needed).
+
+A provider gets a tenancy request: "R50 must stay under 18 ms, VGG
+under 28 ms — can they share a GPU, and at what quotas?"  The
+WhatIfPlanner answers from the offline profiles alone, then we verify
+the chosen plan with an actual BLESS serving run.
+
+Run:  python examples/whatif_planning.py
+"""
+
+from repro import BlessRuntime, bind_load, inference_app
+from repro.analysis import WhatIfPlanner
+
+
+def main() -> None:
+    planner = WhatIfPlanner()
+    r50 = inference_app("R50")
+    vgg = inference_app("VGG")
+    budgets = {"R50": 18_000.0, "VGG": 28_000.0}
+
+    print("per-app minimum quota for the latency budget:")
+    for app, budget in ((r50, budgets["R50"]), (vgg, budgets["VGG"])):
+        quota = planner.min_quota_for_budget(app, budget)
+        print(f"  {app.name:8s} budget {budget / 1000:5.1f} ms -> quota >= {quota:.0%}")
+
+    plans = planner.feasible_plans([r50, vgg], [budgets["R50"], budgets["VGG"]])
+    print(f"\n{len(plans)} feasible quota assignments; a few of them:")
+    for plan in plans[:: max(1, len(plans) // 5)][:5]:
+        print("  " + plan.render(["R50", "VGG"]))
+
+    chosen = planner.cheapest_plan([r50, vgg], [budgets["R50"], budgets["VGG"]])
+    print(f"\nmost even feasible split: {chosen.render(['R50', 'VGG'])}")
+
+    # Verify the analytic plan against an actual serving run.
+    apps = [
+        r50.with_quota(chosen.quotas[0], app_id="R50"),
+        vgg.with_quota(chosen.quotas[1], app_id="VGG"),
+    ]
+    result = BlessRuntime().serve(bind_load(apps, "B", requests=8))
+    print("\nverification under BLESS, workload B:")
+    for app_id, budget in budgets.items():
+        achieved = result.mean_latency(app_id)
+        verdict = "OK" if achieved <= budget else "MISSED"
+        print(
+            f"  {app_id:8s} achieved {achieved / 1000:6.2f} ms "
+            f"(budget {budget / 1000:5.1f}) [{verdict}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

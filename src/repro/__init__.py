@@ -1,0 +1,99 @@
+"""BLESS reproduction: adaptive bubbleless spatial-temporal GPU sharing.
+
+A full Python reproduction of "Improving GPU Sharing Performance
+through Adaptive Bubbleless Spatial-Temporal Sharing" (EuroSys '25) on
+a discrete-event GPU simulator.
+
+Quick start::
+
+    from repro import BlessRuntime, symmetric_pair, bind_load
+
+    apps = symmetric_pair("R50")          # two R50s, 50/50 quotas
+    bindings = bind_load(apps, "B")       # medium load (Table 2)
+    result = BlessRuntime().serve(bindings)
+    print(result.mean_of_app_means() / 1000, "ms")
+"""
+
+from .apps import (
+    Application,
+    AppKind,
+    MODEL_NAMES,
+    Request,
+    inference_app,
+    training_app,
+)
+from .baselines import (
+    GSLICESystem,
+    ISOSystem,
+    MIGSystem,
+    REEFPlusSystem,
+    SharingSystem,
+    TemporalSystem,
+    UnboundSystem,
+    ZicoSystem,
+    iso_targets_us,
+    solo_latency_us,
+)
+from .core import (
+    BlessConfig,
+    BlessRuntime,
+    OfflineProfiler,
+    check_admission,
+)
+from .gpusim import GPUDevice, GPUSpec, KernelKind, KernelSpec, SimEngine
+from .metrics import (
+    ServingResult,
+    latency_deviation_us,
+    qos_violation_rate,
+)
+from .workloads import (
+    QUOTAS_2MODEL,
+    WorkloadBinding,
+    bind_biased,
+    bind_load,
+    bind_trace,
+    multi_app_mix,
+    symmetric_pair,
+    training_pair,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "AppKind",
+    "bind_biased",
+    "bind_load",
+    "bind_trace",
+    "BlessConfig",
+    "BlessRuntime",
+    "check_admission",
+    "GPUDevice",
+    "GPUSpec",
+    "GSLICESystem",
+    "inference_app",
+    "ISOSystem",
+    "iso_targets_us",
+    "KernelKind",
+    "KernelSpec",
+    "latency_deviation_us",
+    "MIGSystem",
+    "MODEL_NAMES",
+    "multi_app_mix",
+    "OfflineProfiler",
+    "qos_violation_rate",
+    "QUOTAS_2MODEL",
+    "REEFPlusSystem",
+    "Request",
+    "ServingResult",
+    "SharingSystem",
+    "SimEngine",
+    "solo_latency_us",
+    "symmetric_pair",
+    "TemporalSystem",
+    "training_app",
+    "training_pair",
+    "UnboundSystem",
+    "WorkloadBinding",
+    "ZicoSystem",
+]

@@ -1,0 +1,13 @@
+"""Offline analysis: bubble taxonomy and what-if quota planning."""
+
+from .bubbles import BubbleTaxonomy, analyze_run, compare_taxonomies
+from .whatif import INTERFERENCE_MARGIN, QuotaPlan, WhatIfPlanner
+
+__all__ = [
+    "analyze_run",
+    "BubbleTaxonomy",
+    "compare_taxonomies",
+    "INTERFERENCE_MARGIN",
+    "QuotaPlan",
+    "WhatIfPlanner",
+]

@@ -1,0 +1,132 @@
+"""What-if quota planning from offline profiles alone.
+
+Capacity-planning questions ("can these three services share a GPU at
+these quotas and hold their SLOs?") shouldn't need a simulation per
+candidate.  This module answers them analytically from the §4.2
+profiles, the way a provider would before deployment:
+
+* the ISO latency surface ``T_j[n%]`` per app over all quota grid
+  points;
+* feasible quota assignments for a pair given per-app latency budgets
+  (the mint-green region of Fig. 12);
+* a conservative co-location latency estimate: quota-pace service plus
+  the calibrated mutual-interference margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.application import Application
+from ..core.config import BlessConfig, DEFAULT_CONFIG
+from ..core.profiler import OfflineProfiler
+
+# Fig. 9(b): mutual-pair interference margin under MPS partitions.
+INTERFERENCE_MARGIN = 1.07
+
+
+@dataclass(frozen=True)
+class QuotaPlan:
+    """One feasible quota assignment with its predicted latencies."""
+
+    quotas: Tuple[float, ...]
+    predicted_latency_us: Tuple[float, ...]
+
+    def render(self, app_ids: Sequence[str]) -> str:
+        parts = [
+            f"{app_id}={quota:.0%}->{latency / 1000:.1f}ms"
+            for app_id, quota, latency in zip(
+                app_ids, self.quotas, self.predicted_latency_us
+            )
+        ]
+        return ", ".join(parts)
+
+
+class WhatIfPlanner:
+    """Analytic quota planning over the profiled latency surfaces."""
+
+    def __init__(self, config: BlessConfig = DEFAULT_CONFIG):
+        self.config = config
+        self.profiler = OfflineProfiler(config=config)
+
+    def iso_surface(self, app: Application) -> Dict[int, float]:
+        """``T[n%]`` for every partition size (1..N)."""
+        profile = self.profiler.profile(app)
+        return {
+            partition: profile.iso_latency(partition)
+            for partition in range(1, self.config.num_partitions + 1)
+        }
+
+    def predicted_latency(self, app: Application, partition: int) -> float:
+        """Conservative co-located latency at a partition: quota pace
+        plus the calibrated interference margin."""
+        profile = self.profiler.profile(app)
+        return profile.iso_latency(partition) * INTERFERENCE_MARGIN
+
+    def feasible_plans(
+        self,
+        apps: Sequence[Application],
+        budgets_us: Sequence[float],
+    ) -> List[QuotaPlan]:
+        """All quota assignments meeting every app's latency budget.
+
+        Enumerates partition compositions (the same grid BLESS's
+        determiner uses) and keeps those whose conservative predicted
+        latency fits each budget.
+        """
+        if len(apps) != len(budgets_us):
+            raise ValueError("apps and budgets must align")
+        if not apps:
+            return []
+        n = self.config.num_partitions
+        plans: List[QuotaPlan] = []
+
+        def recurse(index: int, remaining: int, chosen: List[int]) -> None:
+            if index == len(apps) - 1:
+                candidates = [remaining] if remaining >= 1 else []
+            else:
+                candidates = range(1, remaining - (len(apps) - index - 1) + 1)
+            for parts in candidates:
+                latency = self.predicted_latency(apps[index], parts)
+                if latency > budgets_us[index]:
+                    continue
+                chosen.append(parts)
+                if index == len(apps) - 1:
+                    plans.append(
+                        QuotaPlan(
+                            quotas=tuple(p / n for p in chosen),
+                            predicted_latency_us=tuple(
+                                self.predicted_latency(app, p)
+                                for app, p in zip(apps, chosen)
+                            ),
+                        )
+                    )
+                else:
+                    recurse(index + 1, remaining - parts, chosen)
+                chosen.pop()
+
+        recurse(0, n, [])
+        return plans
+
+    def cheapest_plan(
+        self,
+        apps: Sequence[Application],
+        budgets_us: Sequence[float],
+    ) -> Optional[QuotaPlan]:
+        """The feasible plan leaving the most unallocated headroom for
+        the first app... no — the plan minimising the *largest* quota,
+        i.e. the most even feasible split (easiest to place)."""
+        plans = self.feasible_plans(apps, budgets_us)
+        if not plans:
+            return None
+        return min(plans, key=lambda plan: max(plan.quotas))
+
+    def min_quota_for_budget(
+        self, app: Application, budget_us: float
+    ) -> Optional[float]:
+        """Smallest quota meeting a latency budget (None if infeasible)."""
+        for partition in range(1, self.config.num_partitions + 1):
+            if self.predicted_latency(app, partition) <= budget_us:
+                return partition / self.config.num_partitions
+        return None

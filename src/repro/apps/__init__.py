@@ -1,0 +1,31 @@
+"""Application substrate: operator DAGs, model traces, requests."""
+
+from .application import Application, AppKind, Request
+from .dag import CycleError, Operator, OperatorDAG
+from .models import (
+    MODEL_NAMES,
+    all_inference_apps,
+    all_training_apps,
+    build_model_dag,
+    inference_app,
+    microbenchmark_kernel,
+    table1_expectation,
+    training_app,
+)
+
+__all__ = [
+    "Application",
+    "AppKind",
+    "build_model_dag",
+    "CycleError",
+    "inference_app",
+    "microbenchmark_kernel",
+    "MODEL_NAMES",
+    "all_inference_apps",
+    "all_training_apps",
+    "Operator",
+    "OperatorDAG",
+    "Request",
+    "table1_expectation",
+    "training_app",
+]

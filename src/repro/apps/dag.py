@@ -1,0 +1,100 @@
+"""Operator DAGs for client applications.
+
+Client applications "comprise DAGs of operators" (§3.1).  Each operator
+lowers to one or more GPU kernels.  The host launches kernels in a
+topological order of the DAG; BLESS and the baselines all consume the
+resulting linear kernel sequence, so the DAG's role here is to produce
+a valid, deterministic linearisation and to let tests assert dependency
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..gpusim.kernel import KernelSpec
+
+
+@dataclass
+class Operator:
+    """One DAG node: a named operator lowering to some kernels."""
+
+    name: str
+    kernels: List[KernelSpec] = field(default_factory=list)
+    deps: List[str] = field(default_factory=list)
+
+
+class CycleError(ValueError):
+    """The operator graph contains a dependency cycle."""
+
+
+class OperatorDAG:
+    """A DAG of operators with deterministic topological linearisation."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[str, Operator] = {}
+        self._order: List[str] = []  # insertion order, used as tie-break
+
+    def add(self, op: Operator) -> None:
+        if op.name in self._ops:
+            raise ValueError(f"duplicate operator {op.name!r}")
+        for dep in op.deps:
+            if dep not in self._ops:
+                raise ValueError(f"operator {op.name!r} depends on unknown {dep!r}")
+        self._ops[op.name] = op
+        self._order.append(op.name)
+
+    def add_op(
+        self,
+        name: str,
+        kernels: Iterable[KernelSpec] = (),
+        deps: Sequence[str] = (),
+    ) -> Operator:
+        op = Operator(name=name, kernels=list(kernels), deps=list(deps))
+        self.add(op)
+        return op
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def operator(self, name: str) -> Operator:
+        return self._ops[name]
+
+    def topological_order(self) -> List[Operator]:
+        """Kahn's algorithm with insertion-order tie-breaking.
+
+        Deterministic: among ready operators, the one inserted first
+        goes first, so repeated builds of the same model produce the
+        identical kernel sequence.
+        """
+        indegree = {name: len(op.deps) for name, op in self._ops.items()}
+        children: Dict[str, List[str]] = {name: [] for name in self._ops}
+        for name, op in self._ops.items():
+            for dep in op.deps:
+                children[dep].append(name)
+        ready = [name for name in self._order if indegree[name] == 0]
+        result: List[Operator] = []
+        position = {name: i for i, name in enumerate(self._order)}
+        while ready:
+            ready.sort(key=position.__getitem__)
+            name = ready.pop(0)
+            result.append(self._ops[name])
+            for child in children[name]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(result) != len(self._ops):
+            unresolved = sorted(set(self._ops) - {op.name for op in result})
+            raise CycleError(f"cycle among operators: {unresolved}")
+        return result
+
+    def kernel_sequence(self) -> List[KernelSpec]:
+        """All kernels in a dependency-respecting launch order."""
+        kernels: List[KernelSpec] = []
+        for op in self.topological_order():
+            kernels.extend(op.kernels)
+        return kernels

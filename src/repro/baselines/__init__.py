@@ -1,0 +1,24 @@
+"""Comparison GPU-sharing systems from the paper's evaluation (§6.1)."""
+
+from .base import ClientState, SharingSystem
+from .gslice import GSLICESystem
+from .iso import ISOSystem, iso_targets_us, solo_latency_us
+from .mig_system import MIGSystem
+from .reef import REEFPlusSystem
+from .temporal import TemporalSystem
+from .unbound import UnboundSystem
+from .zico import ZicoSystem
+
+__all__ = [
+    "ClientState",
+    "GSLICESystem",
+    "ISOSystem",
+    "iso_targets_us",
+    "MIGSystem",
+    "REEFPlusSystem",
+    "SharingSystem",
+    "solo_latency_us",
+    "TemporalSystem",
+    "UnboundSystem",
+    "ZicoSystem",
+]

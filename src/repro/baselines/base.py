@@ -1,0 +1,223 @@
+"""Shared serving harness for all GPU-sharing systems.
+
+Every comparison system (§6.1: ISO, TEMPORAL, MIG, GSLICE, UNBOUND,
+REEF+, ZICO) and BLESS itself drive the same simulator through this
+harness: it owns the engine, client bookkeeping (per-app FIFO task
+queues, one in-flight request per app — §4.3), the arrival machinery,
+and result collection.  Subclasses implement only their scheduling
+policy via the ``setup`` / ``on_request_activated`` hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..apps.application import Application, Request
+from ..gpusim.context import ContextRegistry
+from ..gpusim.device import GPUDevice, GPUSpec
+from ..gpusim.engine import SimEngine
+from ..gpusim.kernel import KernelInstance
+from ..gpusim.stream import DeviceQueue
+from ..metrics.stats import RequestRecord, ServingResult
+from ..workloads.arrivals import ArrivalProcess, TraceReplay, OneShot
+from ..workloads.suite import WorkloadBinding
+
+
+def _is_open_loop(process: ArrivalProcess) -> bool:
+    return isinstance(process, (TraceReplay, OneShot))
+
+
+@dataclass
+class ClientState:
+    """Runtime bookkeeping for one deployed application."""
+
+    app: Application
+    process: ArrivalProcess
+    pending: Deque[Request] = field(default_factory=deque)
+    active: Optional[Request] = None
+    completed: int = 0
+    # System-specific attachments (contexts, queues, slices ...).
+    attachments: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def app_id(self) -> str:
+        return self.app.app_id
+
+
+class SharingSystem(abc.ABC):
+    """Base class for GPU-sharing systems running on the simulator."""
+
+    name = "BASE"
+
+    def __init__(
+        self,
+        gpu_spec: Optional[GPUSpec] = None,
+        record_timeline: bool = False,
+        hw_policy: str = "fair",
+        validate: bool = False,
+    ):
+        self.gpu_spec = gpu_spec or GPUSpec()
+        self.record_timeline = record_timeline
+        self.hw_policy = hw_policy
+        self.validate = validate
+        # Populated per serve() call:
+        self.engine: SimEngine
+        self.registry: ContextRegistry
+        self.clients: Dict[str, ClientState] = {}
+        self._result: ServingResult
+        self._inflight = 0
+        self._inflight_windows: List[Tuple[float, float]] = []
+        self._window_start = 0.0
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def setup(self) -> None:
+        """Create contexts/queues for ``self.clients`` (deployment stage)."""
+
+    @abc.abstractmethod
+    def on_request_activated(self, client: ClientState) -> None:
+        """A request became the client's active request: schedule it."""
+
+    def on_request_finished(self, client: ClientState, request: Request) -> None:
+        """Optional hook after a request completes (default: no-op)."""
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+    def serve(self, bindings: Sequence[WorkloadBinding]) -> ServingResult:
+        """Serve a workload to completion; returns the measured result."""
+        if not bindings:
+            raise ValueError("cannot serve an empty workload")
+        self.engine = SimEngine(
+            device=GPUDevice(self.gpu_spec),
+            record_timeline=self.record_timeline,
+            hw_policy=self.hw_policy,
+            validate=self.validate,
+        )
+        self.registry = ContextRegistry(self.engine.device)
+        self.clients = {}
+        self._result = ServingResult(system=self.name)
+        self._inflight = 0
+        self._inflight_windows = []
+
+        for binding in bindings:
+            app = binding.app
+            if app.app_id in self.clients:
+                raise ValueError(f"duplicate app_id {app.app_id!r}")
+            self.engine.device.memory.allocate(app.app_id, app.memory_mb)
+            self.clients[app.app_id] = ClientState(
+                app=app, process=binding.fresh_process()
+            )
+
+        self.setup()
+        for client in self.clients.values():
+            first = client.process.first_arrival()
+            if first is not None:
+                self._schedule_arrival(client, first)
+
+        self.engine.run()
+
+        self._result.makespan_us = self.engine.now
+        self._result.utilization = self.engine.utilization()
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Arrival / completion machinery
+    # ------------------------------------------------------------------
+    def _schedule_arrival(self, client: ClientState, at: float) -> None:
+        self.engine.schedule_at(at, lambda: self._on_arrival(client))
+
+    def _on_arrival(self, client: ClientState) -> None:
+        now = self.engine.now
+        request = Request(app=client.app, arrival_time=now)
+        client.pending.append(request)
+        self._inflight_enter()
+        if _is_open_loop(client.process):
+            nxt = client.process.next_arrival(now, now)
+            if nxt is not None:
+                self._schedule_arrival(client, nxt)
+        if client.active is None:
+            self._activate_next(client)
+
+    def _activate_next(self, client: ClientState) -> None:
+        if client.active is not None or not client.pending:
+            return
+        client.active = client.pending.popleft()
+        client.active.start_time = self.engine.now
+        self.on_request_activated(client)
+
+    def finish_request(self, client: ClientState) -> None:
+        """Systems call this when the active request's last kernel ends."""
+        request = client.active
+        if request is None:
+            raise RuntimeError(f"no active request for {client.app_id}")
+        now = self.engine.now
+        request.finish_time = now
+        client.active = None
+        client.completed += 1
+        self._result.add(
+            RequestRecord(
+                app_id=client.app_id,
+                request_id=request.request_id,
+                arrival=request.arrival_time,
+                finish=now,
+            )
+        )
+        self._inflight_exit()
+        self.on_request_finished(client, request)
+        if not _is_open_loop(client.process):
+            nxt = client.process.next_arrival(request.arrival_time, now)
+            if nxt is not None:
+                self._schedule_arrival(client, nxt)
+        self._activate_next(client)
+
+    def _inflight_enter(self) -> None:
+        if self._inflight == 0:
+            self._window_start = self.engine.now
+        self._inflight += 1
+
+    def _inflight_exit(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._inflight_windows.append((self._window_start, self.engine.now))
+
+    @property
+    def inflight_windows(self) -> List[Tuple[float, float]]:
+        windows = list(self._inflight_windows)
+        if self._inflight > 0:
+            windows.append((self._window_start, self.engine.now))
+        return windows
+
+    # ------------------------------------------------------------------
+    # Common launch helpers
+    # ------------------------------------------------------------------
+    def launch_whole_request(
+        self,
+        client: ClientState,
+        queue: DeviceQueue,
+        launch_overhead: Optional[float] = None,
+    ) -> None:
+        """Launch every kernel of the active request into one queue.
+
+        This is the request-granularity launch style of static/unbounded
+        sharing (§3.2): all kernels go to the device queue at once and
+        the host loses control until the request finishes.
+        """
+        request = client.active
+        if request is None:
+            raise RuntimeError(f"no active request for {client.app_id}")
+        total = request.total_kernels
+        for index in range(total):
+            kernel = request.make_kernel(index)
+            on_finish: Optional[Callable[[KernelInstance], None]] = None
+            if index == total - 1:
+                on_finish = lambda _k, c=client: self.finish_request(c)
+            self.engine.launch(
+                kernel, queue, launch_overhead=launch_overhead, on_finish=on_finish
+            )
+        request.next_kernel = total

@@ -1,0 +1,36 @@
+"""GSLICE: static MPS spatial partitioning by quota (§3.2, §6.1).
+
+Each client receives an MPS context restricted to exactly its quota of
+SMs and launches whole requests into its own device queue.  Co-located
+clients interfere only through memory bandwidth (MPS does not isolate
+it), which is why GSLICE "endures higher latencies than the isolated
+baseline because of the interference between requests" (§6.3) — and
+why it wastes bubbles: an idle partition's SMs are never lent out.
+"""
+
+from __future__ import annotations
+
+from .base import ClientState, SharingSystem
+
+
+class GSLICESystem(SharingSystem):
+    """Static spatial sharing through MPS partitions sized by quota."""
+
+    name = "GSLICE"
+
+    def setup(self) -> None:
+        total_quota = sum(c.app.quota for c in self.clients.values())
+        if total_quota > 1.0 + 1e-9:
+            raise ValueError(
+                f"quotas sum to {total_quota:.2f} > 1; GSLICE cannot oversubscribe"
+            )
+        for client in self.clients.values():
+            context = self.registry.create(
+                owner=client.app_id, sm_limit=client.app.quota, label="gslice"
+            )
+            client.attachments["queue"] = self.engine.create_queue(
+                context, label=client.app_id
+            )
+
+    def on_request_activated(self, client: ClientState) -> None:
+        self.launch_whole_request(client, client.attachments["queue"])

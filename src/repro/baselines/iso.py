@@ -1,0 +1,72 @@
+"""ISO: the quota-isolated latency target (§6.1, §6.2).
+
+ISO is not a sharing system — it is the *promise*: each application
+runs alone on an MPS partition exactly its quota wide, with no
+co-runner interference.  Every sharing system is judged by how far its
+per-app latency deviates above ISO's.  We realise it by serving each
+binding on its own private simulated GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..apps.application import Application
+from ..gpusim.device import GPUSpec
+from ..metrics.stats import ServingResult
+from ..workloads.suite import WorkloadBinding
+from .base import SharingSystem
+from .gslice import GSLICESystem
+
+
+class ISOSystem(SharingSystem):
+    """Each app alone on a quota-sized MPS partition (the baseline)."""
+
+    name = "ISO"
+
+    def setup(self) -> None:  # pragma: no cover - never used directly
+        raise AssertionError("ISOSystem overrides serve(); setup is unused")
+
+    def on_request_activated(self, client) -> None:  # pragma: no cover
+        raise AssertionError("ISOSystem overrides serve()")
+
+    def serve(self, bindings: Sequence[WorkloadBinding]) -> ServingResult:
+        merged = ServingResult(system=self.name)
+        makespan = 0.0
+        busy = 0.0
+        for binding in bindings:
+            sub = GSLICESystem(gpu_spec=self.gpu_spec)
+            result = sub.serve([binding])
+            merged.records.extend(result.records)
+            makespan = max(makespan, result.makespan_us)
+            busy += result.utilization * result.makespan_us
+        merged.makespan_us = makespan
+        merged.utilization = min(1.0, busy / makespan) if makespan > 0 else 0.0
+        return merged
+
+
+def iso_targets_us(
+    bindings: Sequence[WorkloadBinding], gpu_spec: Optional[GPUSpec] = None
+) -> Dict[str, float]:
+    """Per-app ISO mean latencies under the workload (deviation targets)."""
+    result = ISOSystem(gpu_spec=gpu_spec).serve(bindings)
+    return result.per_app_mean_latency()
+
+
+def solo_latency_us(
+    app: Application,
+    sm_fraction: float = 1.0,
+    gpu_spec: Optional[GPUSpec] = None,
+) -> float:
+    """Latency of one isolated request on an ``sm_fraction`` partition.
+
+    This is the profiler's ``T[n%]`` — the paper's isolated latency
+    target for an app provisioned ``n%`` of the GPU.
+    """
+    from ..workloads.arrivals import OneShot  # local import to avoid cycle
+    from ..workloads.suite import WorkloadBinding as Binding
+
+    deployed = app.with_quota(sm_fraction)
+    binding = Binding(app=deployed, process_factory=OneShot)
+    result = ISOSystem(gpu_spec=gpu_spec).serve([binding])
+    return result.mean_latency(deployed.app_id)

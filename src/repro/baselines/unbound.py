@@ -1,0 +1,30 @@
+"""UNBOUND: unrestricted MPS/stream sharing (§3.2, §6.1).
+
+Every client gets an unrestricted context; the hardware scheduler
+multiplexes the whole GPU among whichever kernels are at queue heads.
+Utilization is high but the execution order of co-located kernels is
+uncontrolled, so per-request latency is "neither predictable nor
+optimal" and uneven quota assignments cannot be expressed at all.
+"""
+
+from __future__ import annotations
+
+from .base import ClientState, SharingSystem
+
+
+class UnboundSystem(SharingSystem):
+    """Unbounded sharing: full-GPU contexts, hardware-scheduled."""
+
+    name = "UNBOUND"
+
+    def setup(self) -> None:
+        for client in self.clients.values():
+            context = self.registry.create(
+                owner=client.app_id, sm_limit=1.0, label="unbound"
+            )
+            client.attachments["queue"] = self.engine.create_queue(
+                context, label=client.app_id
+            )
+
+    def on_request_activated(self, client: ClientState) -> None:
+        self.launch_whole_request(client, client.attachments["queue"])

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``            list the per-figure experiment modules
+``experiment <name>``      run one experiment's main()
+``serve``                  serve a workload on chosen systems and compare
+``profile <model>``        print an application's offline profile summary
+``timeline``               render an execution timeline for a small run
+``sweep-quota``            sweep 2-app quota splits (Fig. 12-style rows)
+
+Examples
+--------
+python -m repro serve --models R50 R50 --load C --systems GSLICE BLESS
+python -m repro profile BERT --partitions 18 9 5
+python -m repro timeline --models VGG R50 --width 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from .apps.models import MODEL_NAMES, inference_app, training_app
+from .core.profiler import OfflineProfiler
+from .experiments import ALL_EXPERIMENTS
+from .experiments.common import INFERENCE_SYSTEMS
+from .metrics.io import save_results
+from .viz.charts import bar_chart, reduction_table
+from .viz.timeline import render_timeline
+from .workloads.suite import QUOTAS_2MODEL, bind_load
+
+
+def _apps_from_args(models: List[str], quotas: Optional[List[float]], training: bool):
+    maker = training_app if training else inference_app
+    if quotas is None:
+        quotas = [1.0 / len(models)] * len(models)
+    if len(quotas) != len(models):
+        raise SystemExit("error: --quotas must match --models in length")
+    apps = []
+    for index, (model, quota) in enumerate(zip(models, quotas)):
+        base = maker(model)
+        apps.append(base.with_quota(quota, app_id=f"{base.name}#{index}"))
+    return apps
+
+
+def cmd_experiments(_args) -> int:
+    print("available experiments (run with: python -m repro experiment <name>):")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .experiments import report
+
+    digest = report.run(json_path=args.json)
+    from .experiments.common import format_table
+
+    rows = [[name, e["measured"], e["paper"]] for name, e in digest.items()]
+    print(format_table(["artifact", "measured", "paper"], rows,
+                       title="BLESS reproduction digest"))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    if args.name not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; see `python -m repro experiments`")
+        return 2
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    apps = _apps_from_args(args.models, args.quotas, args.training)
+    unknown = [s for s in args.systems if s not in INFERENCE_SYSTEMS]
+    if unknown:
+        print(f"unknown systems: {unknown}; choose from {list(INFERENCE_SYSTEMS)}")
+        return 2
+    results = []
+    latencies = {}
+    for name in args.systems:
+        system = INFERENCE_SYSTEMS[name]()
+        result = system.serve(bind_load(apps, args.load, requests=args.requests))
+        results.append(result)
+        latencies[name] = result.mean_of_app_means() / 1000.0
+        per_app = ", ".join(
+            f"{a}={v / 1000:.2f}ms" for a, v in result.per_app_mean_latency().items()
+        )
+        print(f"{name:9s} avg {latencies[name]:7.2f} ms  "
+              f"util {result.utilization:5.1%}  [{per_app}]")
+    print()
+    print(bar_chart(latencies, title=f"average latency, load {args.load}",
+                    highlight="BLESS" if "BLESS" in latencies else None))
+    if "BLESS" in latencies and len(latencies) > 1:
+        print()
+        print(reduction_table(latencies))
+    if args.output:
+        save_results(results, args.output)
+        print(f"\nsaved results to {args.output}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    maker = training_app if args.training else inference_app
+    app = maker(args.model)
+    profile = OfflineProfiler().profile(app)
+    print(f"{app.name}: {app.num_compute_kernels} compute kernels, "
+          f"{app.memory_mb} MB, solo {app.solo_span_us / 1000:.2f} ms "
+          f"(GPU busy {app.total_compute_us / app.solo_span_us:.0%})")
+    print(f"profiling cost: {profile.profiling_cost_us / 1e6:.2f} s "
+          f"({profile.num_partitions} partitioned runs)")
+    print(f"\n{'partition':>9s} {'SMs':>5s} {'T[n%] (ms)':>11s}")
+    for partition in args.partitions:
+        sms = round(partition / profile.num_partitions * 108)
+        print(f"{partition:9d} {sms:5d} {profile.iso_latency(partition) / 1000:11.2f}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from .core.runtime import BlessRuntime
+    from .workloads.arrivals import OneShot
+    from .workloads.suite import WorkloadBinding
+
+    apps = _apps_from_args(args.models, args.quotas, training=False)
+    system = BlessRuntime(record_timeline=True)
+    result = system.serve(
+        [WorkloadBinding(app=a, process_factory=OneShot) for a in apps]
+    )
+    view = render_timeline(system.engine.timeline, width=args.width)
+    print(view.render())
+    print()
+    for app in apps:
+        print(f"{app.app_id}: {result.mean_latency(app.app_id) / 1000:.2f} ms")
+    return 0
+
+
+def cmd_sweep_quota(args) -> int:
+    from .baselines.iso import ISOSystem
+    from .core.runtime import BlessRuntime
+
+    if len(args.models) != 2:
+        print("sweep-quota needs exactly two --models")
+        return 2
+    print(f"{'quotas':>13s} {'BLESS app1':>11s} {'BLESS app2':>11s} "
+          f"{'ISO app1':>9s} {'ISO app2':>9s}")
+    for quota_a, quota_b in QUOTAS_2MODEL:
+        apps = _apps_from_args(args.models, [quota_a, quota_b], training=False)
+        bless = BlessRuntime().serve(bind_load(apps, args.load, requests=args.requests))
+        iso = ISOSystem().serve(bind_load(apps, args.load, requests=args.requests))
+        ids = [a.app_id for a in apps]
+        print(
+            f"({quota_a:.2f},{quota_b:.2f})"
+            f" {bless.mean_latency(ids[0]) / 1000:11.2f}"
+            f" {bless.mean_latency(ids[1]) / 1000:11.2f}"
+            f" {iso.mean_latency(ids[0]) / 1000:9.2f}"
+            f" {iso.mean_latency(ids[1]) / 1000:9.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BLESS reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiment modules").set_defaults(
+        func=cmd_experiments
+    )
+
+    p = sub.add_parser("report", help="run the full reproduction digest")
+    p.add_argument("--json", help="also write the digest as JSON here")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("experiment", help="run one experiment")
+    p.add_argument("name")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("serve", help="serve a workload and compare systems")
+    p.add_argument("--models", nargs="+", required=True, choices=MODEL_NAMES)
+    p.add_argument("--quotas", nargs="+", type=float)
+    p.add_argument("--load", default="B", choices=["A", "B", "C"])
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument(
+        "--systems", nargs="+", default=["ISO", "GSLICE", "UNBOUND", "BLESS"]
+    )
+    p.add_argument("--training", action="store_true")
+    p.add_argument("--output", help="save results JSON here")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("profile", help="offline-profile one application")
+    p.add_argument("model", choices=MODEL_NAMES)
+    p.add_argument("--partitions", nargs="+", type=int, default=[18, 12, 9, 6, 3])
+    p.add_argument("--training", action="store_true")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("timeline", help="render a BLESS execution timeline")
+    p.add_argument("--models", nargs="+", required=True, choices=MODEL_NAMES)
+    p.add_argument("--quotas", nargs="+", type=float)
+    p.add_argument("--width", type=int, default=80)
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser("sweep-quota", help="sweep the seven 2-app quota splits")
+    p.add_argument("--models", nargs="+", required=True, choices=MODEL_NAMES)
+    p.add_argument("--load", default="B", choices=["A", "B", "C"])
+    p.add_argument("--requests", type=int, default=6)
+    p.set_defaults(func=cmd_sweep_quota)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

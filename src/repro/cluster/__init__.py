@@ -1,0 +1,18 @@
+"""Multi-GPU extension (§4.2.2): placement controller + per-GPU runtimes."""
+
+from .controller import ClusterController, ClusterResult
+from .placement import (
+    ClusterPlacer,
+    GPUSlot,
+    PlacementError,
+    PlacementPolicy,
+)
+
+__all__ = [
+    "ClusterController",
+    "ClusterPlacer",
+    "ClusterResult",
+    "GPUSlot",
+    "PlacementError",
+    "PlacementPolicy",
+]

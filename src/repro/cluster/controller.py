@@ -1,0 +1,84 @@
+"""Multi-GPU serving: the central controller of §4.2.2.
+
+``ClusterController`` replicates a sharing system's runtime per GPU,
+places applications via :class:`ClusterPlacer`, splits a cluster-wide
+workload by placement, serves every GPU independently (GPUs do not
+interfere with one another), and merges the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines.base import SharingSystem
+from ..core.runtime import BlessRuntime
+from ..gpusim.device import GPUSpec
+from ..metrics.stats import ServingResult
+from ..workloads.suite import WorkloadBinding
+from .placement import ClusterPlacer, PlacementPolicy
+
+SystemFactory = Callable[[], SharingSystem]
+
+
+@dataclass
+class ClusterResult:
+    """Merged outcome of a cluster-wide serving run."""
+
+    merged: ServingResult
+    per_gpu: Dict[int, ServingResult]
+    placements: Dict[int, List[str]]
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.merged.mean_of_app_means() / 1000.0
+
+
+class ClusterController:
+    """Places applications on GPUs and serves them with per-GPU runtimes."""
+
+    def __init__(
+        self,
+        num_gpus: int,
+        gpu_spec: Optional[GPUSpec] = None,
+        policy: PlacementPolicy = PlacementPolicy.BEST_FIT,
+        system_factory: SystemFactory = BlessRuntime,
+    ):
+        self.gpu_spec = gpu_spec or GPUSpec()
+        self.placer = ClusterPlacer(num_gpus, self.gpu_spec, policy)
+        self.system_factory = system_factory
+
+    def serve(self, bindings: Sequence[WorkloadBinding]) -> ClusterResult:
+        """Place every binding's app, then serve each GPU to completion."""
+        if not bindings:
+            raise ValueError("cannot serve an empty cluster workload")
+        by_app = {binding.app.app_id: binding for binding in bindings}
+        if len(by_app) != len(bindings):
+            raise ValueError("duplicate app_ids in cluster workload")
+
+        placements = self.placer.place_all([b.app for b in bindings])
+
+        merged = ServingResult(system=f"cluster/{self.system_factory().name}")
+        per_gpu: Dict[int, ServingResult] = {}
+        makespan = 0.0
+        busy = 0.0
+        for gpu_index, apps in placements.items():
+            gpu_bindings = [by_app[app.app_id] for app in apps]
+            system = self.system_factory()
+            result = system.serve(gpu_bindings)
+            per_gpu[gpu_index] = result
+            merged.records.extend(result.records)
+            makespan = max(makespan, result.makespan_us)
+            busy += result.utilization * result.makespan_us
+        merged.makespan_us = makespan
+        merged.utilization = (
+            min(1.0, busy / (makespan * len(per_gpu))) if makespan > 0 else 0.0
+        )
+        return ClusterResult(
+            merged=merged,
+            per_gpu=per_gpu,
+            placements={
+                index: [a.app_id for a in apps]
+                for index, apps in placements.items()
+            },
+        )

@@ -1,0 +1,123 @@
+"""Application placement across multiple GPUs (§4.2.2).
+
+The paper sketches the multi-GPU extension: replicate the BLESS runtime
+per GPU and let "a central controller leverage the memory requirement
+and profiled kernel information to decide which specific GPU to place
+applications to avoid conflict" (as in GPUlet).  This module implements
+that controller's placement decision:
+
+* an application fits a GPU only if memory (including the MPS contexts
+  BLESS will create), quota headroom, and kernel-duration compatibility
+  (§4.2.2's starvation rule) all allow it;
+* among feasible GPUs, `best_fit` picks the one whose remaining quota
+  headroom is smallest after placement (pack tightly, keep whole GPUs
+  free), `worst_fit` the largest (balance load), `first_fit` the first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..apps.application import Application
+from ..core.deployment import check_admission
+from ..gpusim.device import GPUSpec
+
+
+class PlacementPolicy(enum.Enum):
+    FIRST_FIT = "first_fit"
+    BEST_FIT = "best_fit"
+    WORST_FIT = "worst_fit"
+
+
+class PlacementError(RuntimeError):
+    """No GPU can host the application."""
+
+
+@dataclass
+class GPUSlot:
+    """A single GPU's deployment state inside the cluster."""
+
+    index: int
+    spec: GPUSpec
+    apps: List[Application] = field(default_factory=list)
+
+    @property
+    def quota_used(self) -> float:
+        return sum(app.quota for app in self.apps)
+
+    @property
+    def quota_free(self) -> float:
+        return 1.0 - self.quota_used
+
+    @property
+    def memory_used_mb(self) -> int:
+        contexts = 2 * len(self.apps) * self.spec.mps_context_mb
+        return sum(app.memory_mb for app in self.apps) + contexts
+
+    @property
+    def memory_free_mb(self) -> int:
+        return self.spec.memory_mb - self.memory_used_mb
+
+    def fits(self, app: Application) -> bool:
+        """Would ``app`` be admitted alongside this GPU's current apps?"""
+        if app.quota > self.quota_free + 1e-9:
+            return False
+        report = check_admission(self.apps + [app], gpu_spec=self.spec)
+        return report.accepted
+
+
+class ClusterPlacer:
+    """Places applications on a pool of GPUs."""
+
+    def __init__(
+        self,
+        num_gpus: int,
+        gpu_spec: Optional[GPUSpec] = None,
+        policy: PlacementPolicy = PlacementPolicy.BEST_FIT,
+    ):
+        if num_gpus < 1:
+            raise ValueError("need at least one GPU")
+        spec = gpu_spec or GPUSpec()
+        self.policy = policy
+        self.slots = [GPUSlot(index=i, spec=spec) for i in range(num_gpus)]
+
+    def place(self, app: Application) -> GPUSlot:
+        """Choose a GPU for ``app`` and record the placement."""
+        feasible = [slot for slot in self.slots if slot.fits(app)]
+        if not feasible:
+            raise PlacementError(
+                f"no GPU can host {app.app_id!r} "
+                f"(quota {app.quota:.0%}, {app.memory_mb}MB)"
+            )
+        if self.policy is PlacementPolicy.FIRST_FIT:
+            chosen = feasible[0]
+        elif self.policy is PlacementPolicy.BEST_FIT:
+            chosen = min(feasible, key=lambda s: s.quota_free - app.quota)
+        else:  # WORST_FIT
+            chosen = max(feasible, key=lambda s: s.quota_free - app.quota)
+        chosen.apps.append(app)
+        return chosen
+
+    def place_all(self, apps: Sequence[Application]) -> Dict[int, List[Application]]:
+        """Place a batch (largest quota first — classic bin packing).
+
+        Returns ``{gpu_index: [apps...]}``.  Raises
+        :class:`PlacementError` if any app cannot be placed; previously
+        recorded placements are kept (callers wanting transactionality
+        should use a fresh placer).
+        """
+        for app in sorted(apps, key=lambda a: a.quota, reverse=True):
+            self.place(app)
+        return {slot.index: list(slot.apps) for slot in self.slots if slot.apps}
+
+    def utilization_summary(self) -> str:
+        lines = []
+        for slot in self.slots:
+            names = ", ".join(a.app_id for a in slot.apps) or "(idle)"
+            lines.append(
+                f"GPU{slot.index}: quota {slot.quota_used:.0%}, "
+                f"memory {slot.memory_used_mb}/{slot.spec.memory_mb}MB — {names}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Execution configuration determiner (§4.4).
+
+For each generated squad the determiner searches the execution
+configuration space — the unrestricted case plus every strict spatial
+split of the GPU's ``N`` partitions among the ``K`` active requests
+(``C(N-1, K-1)`` compositions) — and returns the configuration with the
+smallest estimated duration.
+
+For large ``K`` the composition count explodes (K=8, N=18 → 19 448);
+above ``config.max_enumerated_configs`` the determiner switches to a
+proportional seed plus steepest-descent local search, which finds the
+same optimum in the common cases the paper evaluates (the objective —
+the max of per-app stacks, Eq. 1 — is unimodal along single-partition
+moves).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .config import BlessConfig
+from .predictors import (
+    concurrent_wave_estimate,
+    interference_free_estimate,
+    workload_equivalence_estimate,
+)
+from .profiler import AppProfile
+from .squad import KernelSquad
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """The chosen execution plan for one squad.
+
+    ``partitions`` maps app_id -> partition index (1-based, of N) for a
+    strict-spatial plan; ``None`` means no spatial restriction (NSP).
+    ``rear_counts`` (adaptive Semi-SP) maps app_id -> number of trailing
+    kernels to launch without SM restriction: the kernels predicted to
+    start after the shortest co-runner stack has drained (Fig. 7(c)).
+    When absent, the kernel manager falls back to the static split
+    ratio ``c%``.
+    """
+
+    partitions: Optional[Dict[str, int]]
+    predicted_duration_us: float
+    rear_counts: Optional[Dict[str, int]] = None
+
+    @property
+    def is_spatial(self) -> bool:
+        return self.partitions is not None
+
+
+def _compositions(total: int, parts: int):
+    """All ways to split ``total`` units into ``parts`` positive ints."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def composition_count(n_partitions: int, k_requests: int) -> int:
+    """``C(N-1, K-1)`` — size of the strict-spatial config space."""
+    return math.comb(n_partitions - 1, k_requests - 1)
+
+
+class ExecutionConfigDeterminer:
+    """Searches the configuration space with the two estimators."""
+
+    def __init__(self, config: BlessConfig):
+        self.config = config
+
+    def _nsp_estimate(
+        self, squad: KernelSquad, profiles: Mapping[str, AppProfile]
+    ) -> float:
+        if self.config.nsp_predictor == "paper":
+            return workload_equivalence_estimate(squad, profiles)
+        return concurrent_wave_estimate(squad, profiles)
+
+    def determine(
+        self,
+        squad: KernelSquad,
+        profiles: Mapping[str, AppProfile],
+    ) -> ExecutionConfig:
+        """Pick the fastest configuration for ``squad``."""
+        app_ids = squad.app_ids
+        if not app_ids:
+            raise ValueError("cannot configure an empty squad")
+
+        # A single active request simply gets the whole GPU.
+        if len(app_ids) == 1:
+            duration = self._nsp_estimate(squad, profiles)
+            return ExecutionConfig(partitions=None, predicted_duration_us=duration)
+
+        nsp_duration = self._nsp_estimate(squad, profiles)
+        best_sp = self._best_spatial(squad, profiles)
+
+        if best_sp is not None and best_sp.predicted_duration_us < nsp_duration:
+            return self._attach_rears(best_sp, squad, profiles)
+        return ExecutionConfig(partitions=None, predicted_duration_us=nsp_duration)
+
+    def _attach_rears(
+        self,
+        config: ExecutionConfig,
+        squad: KernelSquad,
+        profiles: Mapping[str, AppProfile],
+    ) -> ExecutionConfig:
+        """Compute adaptive Semi-SP rear counts for a spatial plan.
+
+        The rear of each request is the set of its squad kernels whose
+        predicted start lies past the *shortest* co-runner stack — by
+        then that co-runner's partition is draining and the kernels can
+        safely expand to the whole GPU (the semi-SP insight of §4.4.1).
+        In static mode the kernel manager ignores this and applies the
+        fixed ``c%`` instead.
+        """
+        if self.config.semi_sp_mode != "adaptive" or config.partitions is None:
+            return config
+        stacks = {}
+        cumulative: Dict[str, List[float]] = {}
+        for app_id, entry in squad.entries.items():
+            profile = profiles[app_id]
+            partition = config.partitions[app_id]
+            acc = 0.0
+            starts = []
+            for index in entry.kernel_indices:
+                starts.append(acc)
+                acc += profile.step_cost(partition, index)
+            stacks[app_id] = acc
+            cumulative[app_id] = starts
+        t_min = min(stacks.values())
+        rear_counts = {}
+        for app_id, starts in cumulative.items():
+            rear_counts[app_id] = sum(1 for s in starts if s >= t_min - 1e-9)
+        return ExecutionConfig(
+            partitions=config.partitions,
+            predicted_duration_us=config.predicted_duration_us,
+            rear_counts=rear_counts,
+        )
+
+    # ------------------------------------------------------------------
+    def _best_spatial(
+        self,
+        squad: KernelSquad,
+        profiles: Mapping[str, AppProfile],
+    ) -> Optional[ExecutionConfig]:
+        app_ids = squad.app_ids
+        n = self.config.num_partitions
+        k = len(app_ids)
+        if k > n:
+            return None  # cannot give every request a partition
+        if composition_count(n, k) <= self.config.max_enumerated_configs:
+            return self._enumerate(squad, profiles, app_ids, n)
+        return self._local_search(squad, profiles, app_ids, n)
+
+    def _evaluate(
+        self,
+        squad: KernelSquad,
+        profiles: Mapping[str, AppProfile],
+        app_ids: List[str],
+        split: Tuple[int, ...],
+    ) -> Tuple[float, float]:
+        """(makespan, total stack time) of a split under Eq. 1.
+
+        The makespan is the paper's objective; the total stack time
+        breaks ties among makespan-equivalent splits — without it the
+        search may pointlessly squeeze a short side onto one partition
+        (slowing that request) when wider allocations cost nothing.
+        """
+        total = 0.0
+        longest = 0.0
+        for app_id, parts in zip(app_ids, split):
+            entry = squad.entry(app_id)
+            profile = profiles[app_id]
+            stack = 0.0
+            for index in entry.kernel_indices:
+                stack += profile.step_cost(parts, index)
+            total += stack
+            longest = max(longest, stack)
+        return (longest, total)
+
+    def _enumerate(
+        self,
+        squad: KernelSquad,
+        profiles: Mapping[str, AppProfile],
+        app_ids: List[str],
+        n: int,
+    ) -> ExecutionConfig:
+        best_split: Optional[Tuple[int, ...]] = None
+        best_score: Tuple[float, float] = (math.inf, math.inf)
+        for split in _compositions(n, len(app_ids)):
+            score = self._evaluate(squad, profiles, app_ids, split)
+            if score < best_score:
+                best_score = score
+                best_split = split
+        assert best_split is not None
+        return ExecutionConfig(
+            partitions=dict(zip(app_ids, best_split)),
+            predicted_duration_us=best_score[0],
+        )
+
+    def _local_search(
+        self,
+        squad: KernelSquad,
+        profiles: Mapping[str, AppProfile],
+        app_ids: List[str],
+        n: int,
+    ) -> ExecutionConfig:
+        # Seed: partitions proportional to each request's full-GPU stack.
+        k = len(app_ids)
+        stacks = []
+        for app_id in app_ids:
+            entry = squad.entry(app_id)
+            profile = profiles[app_id]
+            stacks.append(
+                sum(profile.duration(n, i) for i in entry.kernel_indices)
+            )
+        total_stack = sum(stacks) or 1.0
+        split = [max(1, round(n * s / total_stack)) for s in stacks]
+        # Repair the seed to sum exactly to n.
+        while sum(split) > n:
+            i = max(range(k), key=lambda j: split[j])
+            if split[i] > 1:
+                split[i] -= 1
+        while sum(split) < n:
+            i = max(range(k), key=lambda j: stacks[j] / split[j])
+            split[i] += 1
+
+        best = tuple(split)
+        best_score = self._evaluate(squad, profiles, app_ids, best)
+        improved = True
+        while improved:
+            improved = False
+            for src in range(k):
+                for dst in range(k):
+                    if dst == src or best[src] <= 1:
+                        continue
+                    candidate = list(best)
+                    candidate[src] -= 1
+                    candidate[dst] += 1
+                    score = self._evaluate(
+                        squad, profiles, app_ids, tuple(candidate)
+                    )
+                    if score < best_score:
+                        best = tuple(candidate)
+                        best_score = score
+                        improved = True
+        return ExecutionConfig(
+            partitions=dict(zip(app_ids, best)),
+            predicted_duration_us=best_score[0],
+        )
+
+
+def quota_proportional_config(
+    squad: KernelSquad,
+    profiles: Mapping[str, AppProfile],
+    quotas: Mapping[str, float],
+    config: BlessConfig,
+) -> ExecutionConfig:
+    """Fixed quota-proportional split (the Fig. 20 determiner ablation).
+
+    Without the determiner, BLESS still runs squads spatially but simply
+    slices the GPU by provisioned quota instead of searching.
+    """
+    app_ids = squad.app_ids
+    if len(app_ids) == 1:
+        duration = workload_equivalence_estimate(squad, profiles)
+        return ExecutionConfig(partitions=None, predicted_duration_us=duration)
+    n = config.num_partitions
+    total_quota = sum(quotas[a] for a in app_ids) or 1.0
+    split = [max(1, round(n * quotas[a] / total_quota)) for a in app_ids]
+    while sum(split) > n:
+        i = max(range(len(split)), key=lambda j: split[j])
+        split[i] -= 1
+    while sum(split) < n:
+        i = min(range(len(split)), key=lambda j: split[j])
+        split[i] += 1
+    partitions = dict(zip(app_ids, split))
+    duration = interference_free_estimate(squad, profiles, partitions)
+    return ExecutionConfig(partitions=partitions, predicted_duration_us=duration)

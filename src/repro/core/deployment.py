@@ -1,0 +1,102 @@
+"""Deployment admission checks (§4.2.2).
+
+Before accepting a set of applications onto one GPU, BLESS checks:
+
+* **memory** — the apps' footprints plus the MPS contexts BLESS will
+  create must fit device memory (placement must not cause OOM);
+* **kernel-duration compatibility** — applications with very short
+  kernels must not be co-located with applications whose kernels are
+  extremely long, or the former would starve inside every squad.  BLESS
+  targets apps whose average kernel duration is in the ~10–300 µs band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..apps.application import Application
+from ..gpusim.device import GPUSpec
+from .config import BlessConfig, DEFAULT_CONFIG
+
+# Paper: "BLESS works well to co-locate most deep learning applications,
+# with the average kernel duration varying from 10us to 300us."
+MEAN_KERNEL_BAND_US = (10.0, 300.0)
+# Starvation rule of thumb: reject when one app's longest kernels dwarf
+# another app's average kernels by more than this factor.
+MAX_DURATION_DISPARITY = 100.0
+
+
+@dataclass
+class AdmissionReport:
+    """Outcome of an admission check."""
+
+    accepted: bool
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+
+def _mean_compute_duration(app: Application) -> float:
+    durations = [k.base_duration_us for k in app.kernels if k.is_compute]
+    return sum(durations) / len(durations) if durations else 0.0
+
+
+def _max_compute_duration(app: Application) -> float:
+    durations = [k.base_duration_us for k in app.kernels if k.is_compute]
+    return max(durations) if durations else 0.0
+
+
+def check_admission(
+    apps: Sequence[Application],
+    gpu_spec: Optional[GPUSpec] = None,
+    config: BlessConfig = DEFAULT_CONFIG,
+    contexts_per_app: int = 2,
+) -> AdmissionReport:
+    """Decide whether ``apps`` can be co-deployed under BLESS."""
+    spec = gpu_spec or GPUSpec()
+    report = AdmissionReport(accepted=True)
+
+    if not apps:
+        report.accepted = False
+        report.errors.append("no applications to deploy")
+        return report
+
+    # Memory: app footprints + the restricted MPS contexts BLESS keeps.
+    total_mb = sum(app.memory_mb for app in apps)
+    total_mb += len(apps) * contexts_per_app * spec.mps_context_mb
+    if total_mb > spec.memory_mb:
+        report.accepted = False
+        report.errors.append(
+            f"memory over-subscribed: need {total_mb}MB, "
+            f"device has {spec.memory_mb}MB"
+        )
+
+    # Quotas must not oversubscribe the GPU.
+    total_quota = sum(app.quota for app in apps)
+    if total_quota > 1.0 + 1e-9:
+        report.accepted = False
+        report.errors.append(
+            f"quotas sum to {total_quota:.2f} > 1.0"
+        )
+
+    # Kernel-duration compatibility.
+    for app in apps:
+        mean = _mean_compute_duration(app)
+        if not MEAN_KERNEL_BAND_US[0] <= mean <= MEAN_KERNEL_BAND_US[1]:
+            report.warnings.append(
+                f"{app.app_id}: mean kernel duration {mean:.1f}us outside "
+                f"the {MEAN_KERNEL_BAND_US} band BLESS targets"
+            )
+    for short in apps:
+        for long in apps:
+            if short is long:
+                continue
+            mean_short = _mean_compute_duration(short)
+            max_long = _max_compute_duration(long)
+            if mean_short > 0 and max_long / mean_short > MAX_DURATION_DISPARITY:
+                report.accepted = False
+                report.errors.append(
+                    f"{short.app_id} (mean kernel {mean_short:.0f}us) would "
+                    f"starve next to {long.app_id} (max kernel {max_long:.0f}us)"
+                )
+    return report

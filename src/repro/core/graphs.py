@@ -1,0 +1,82 @@
+"""CUDA-graph scheduling granularity (§6.10).
+
+The paper: "techniques such as CUDA graphs allow for launching a
+sequence of kernels to the GPU with a single API call.  To support
+applications implemented with these techniques, BLESS can be adapted by
+switching the scheduling granularity from kernels to graphs."
+
+:func:`with_cuda_graphs` rewrites an application as a sequence of
+graphs: inside a graph the host dispatch gaps disappear (that is the
+point of CUDA graphs — no per-kernel launch round trips), and the
+scheduler treats each graph as indivisible, selecting whole graphs into
+squads.  The trade-off is exactly the paper's: fewer host stalls per
+request, but coarser scheduling (a squad can overshoot its kernel cap
+by up to one graph, and resources re-configure only at graph
+boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from ..apps.application import Application
+from ..gpusim.kernel import KernelSpec
+
+
+def graph_boundaries_for(app: Application, graph_size: int) -> List[int]:
+    """Kernel indices at which each graph starts (uniform chunking).
+
+    Memcpy kernels break graphs (CUDA graphs capture compute streams;
+    transfers typically sit outside the captured section).
+    """
+    if graph_size < 1:
+        raise ValueError("graph_size must be at least 1")
+    boundaries = []
+    run = 0
+    for index, kernel in enumerate(app.kernels):
+        if not kernel.is_compute:
+            boundaries.append(index)      # a transfer is its own unit
+            run = 0
+            continue
+        if run == 0:
+            boundaries.append(index)
+        run += 1
+        if run >= graph_size:
+            run = 0
+    return boundaries
+
+
+def with_cuda_graphs(app: Application, graph_size: int = 10) -> Application:
+    """An equivalent application scheduled at graph granularity.
+
+    Kernels keep their compute characteristics; dispatch gaps inside a
+    graph are folded away (single launch per graph), with each graph's
+    first kernel keeping a small capture-replay launch stall.
+    """
+    boundaries = set(graph_boundaries_for(app, graph_size))
+    kernels: List[KernelSpec] = []
+    for index, kernel in enumerate(app.kernels):
+        if index in boundaries or not kernel.is_compute:
+            kernels.append(kernel)
+        else:
+            # Inside a graph: the host is not involved between kernels.
+            kernels.append(replace(kernel, dispatch_gap_us=0.0))
+    graphed = Application(
+        name=app.name,
+        kind=app.kind,
+        kernels=kernels,
+        memory_mb=app.memory_mb,
+        quota=app.quota,
+        app_id=app.app_id,
+        graph_boundaries=sorted(boundaries),
+    )
+    return graphed
+
+
+def graph_end(boundaries: Sequence[int], index: int, total: int) -> int:
+    """Exclusive end of the graph containing kernel ``index``."""
+    for boundary in boundaries:
+        if boundary > index:
+            return boundary
+    return total

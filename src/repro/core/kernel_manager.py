@@ -1,0 +1,199 @@
+"""Concurrent kernel manager (§4.5).
+
+The manager owns every client's GPU contexts and realises a squad's
+execution configuration:
+
+* **NSP** — all squad kernels go to each client's default unrestricted
+  context;
+* **SP / Semi-SP** — the first ``c%`` of each client's squad kernels is
+  launched into a pre-established MPS context restricted to the chosen
+  partition; once they complete, the manager switches to the client's
+  default context (charging the ~50 µs context-switch vacuum, which
+  stalls only that client's queue) and launches the remaining kernels
+  unrestricted so they can soak up whatever the co-runners left idle.
+
+Restricted contexts are created lazily per (client, partition) and
+cached; each creation charges the ~230 MB MPS context memory (§6.9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..gpusim.context import ContextRegistry
+from ..gpusim.engine import SimEngine
+from ..gpusim.kernel import KernelInstance
+from ..gpusim.stream import DeviceQueue
+from .config import BlessConfig
+from .configurator import ExecutionConfig
+from .squad import KernelSquad, SquadEntry
+
+KernelCallback = Callable[[KernelInstance], None]
+
+
+@dataclass
+class SquadExecution:
+    """Bookkeeping for one in-flight squad."""
+
+    squad: KernelSquad
+    config: ExecutionConfig
+    started_at: float
+    remaining: int
+    on_done: Callable[["SquadExecution"], None]
+    finished_at: Optional[float] = None
+
+    @property
+    def duration_us(self) -> float:
+        if self.finished_at is None:
+            raise RuntimeError("squad still executing")
+        return self.finished_at - self.started_at
+
+
+class ConcurrentKernelManager:
+    """Launches squads into per-client GPU contexts."""
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        registry: ContextRegistry,
+        config: BlessConfig,
+    ):
+        self.engine = engine
+        self.registry = registry
+        self.config = config
+        self._default_queue: Dict[str, DeviceQueue] = {}
+        self._restricted_queue: Dict[Tuple[str, int], DeviceQueue] = {}
+        self.context_switches = 0
+
+    # ------------------------------------------------------------------
+    # Context/queue management
+    # ------------------------------------------------------------------
+    def register_client(self, app_id: str) -> None:
+        """Create the client's default (unrestricted) context and queue."""
+        if app_id in self._default_queue:
+            raise ValueError(f"client {app_id!r} already registered")
+        context = self.registry.create(
+            owner=app_id, sm_limit=1.0, label="default", charge_memory=False
+        )
+        self._default_queue[app_id] = self.engine.create_queue(
+            context, label=f"{app_id}/default"
+        )
+
+    def default_queue(self, app_id: str) -> DeviceQueue:
+        return self._default_queue[app_id]
+
+    def restricted_queue(self, app_id: str, partition: int) -> DeviceQueue:
+        """The client's device queue for an ``n/N``-restricted context."""
+        key = (app_id, partition)
+        queue = self._restricted_queue.get(key)
+        if queue is None:
+            fraction = self.config.partition_fraction(partition)
+            context = self.registry.create(
+                owner=app_id, sm_limit=fraction, label=f"mps-{partition}"
+            )
+            queue = self.engine.create_queue(
+                context, label=f"{app_id}/mps-{partition}"
+            )
+            self._restricted_queue[key] = queue
+        return queue
+
+    # ------------------------------------------------------------------
+    # Squad execution
+    # ------------------------------------------------------------------
+    def execute_squad(
+        self,
+        squad: KernelSquad,
+        exec_config: ExecutionConfig,
+        on_kernel_finish: KernelCallback,
+        on_done: Callable[[SquadExecution], None],
+    ) -> SquadExecution:
+        """Launch every kernel of ``squad`` per ``exec_config``.
+
+        ``on_kernel_finish`` fires for each completed kernel (the
+        runtime uses it to detect request completions); ``on_done``
+        fires once when the whole squad has drained.
+        """
+        execution = SquadExecution(
+            squad=squad,
+            config=exec_config,
+            started_at=self.engine.now,
+            remaining=squad.total_kernels,
+            on_done=on_done,
+        )
+
+        def kernel_done(kernel: KernelInstance) -> None:
+            on_kernel_finish(kernel)
+            execution.remaining -= 1
+            if execution.remaining == 0:
+                execution.finished_at = self.engine.now
+                execution.on_done(execution)
+
+        for app_id, entry in squad.entries.items():
+            self._launch_entry(app_id, entry, exec_config, kernel_done)
+        return execution
+
+    def _launch_entry(
+        self,
+        app_id: str,
+        entry: SquadEntry,
+        exec_config: ExecutionConfig,
+        kernel_done: KernelCallback,
+    ) -> None:
+        indices = entry.kernel_indices
+        if exec_config.partitions is None:
+            self._launch_slice(entry, indices, self._default_queue[app_id], kernel_done)
+            return
+
+        partition = exec_config.partitions[app_id]
+        if exec_config.rear_counts is not None:
+            rear_count = min(exec_config.rear_counts.get(app_id, 0), len(indices))
+            front_count = len(indices) - rear_count
+        else:
+            front_count = int(math.floor(self.config.split_ratio * len(indices) + 0.5))
+            front_count = min(front_count, len(indices))
+        front, rear = indices[:front_count], indices[front_count:]
+
+        if not front:
+            self._launch_slice(entry, rear, self._default_queue[app_id], kernel_done)
+            return
+
+        restricted = self.restricted_queue(app_id, partition)
+        if not rear:
+            self._launch_slice(entry, front, restricted, kernel_done)
+            return
+
+        # Semi-SP: rear kernels launch only after the restricted part
+        # completes, through the default context after a context switch.
+        def front_done(kernel: KernelInstance) -> None:
+            kernel_done(kernel)
+            self.context_switches += 1
+            self.engine.schedule(
+                self.engine.device.spec.context_switch_us,
+                lambda: self._launch_slice(
+                    entry, rear, self._default_queue[app_id], kernel_done
+                ),
+            )
+
+        self._launch_slice(
+            entry, front, restricted, kernel_done, last_callback=front_done
+        )
+
+    def _launch_slice(
+        self,
+        entry: SquadEntry,
+        indices: List[int],
+        queue: DeviceQueue,
+        kernel_done: KernelCallback,
+        last_callback: Optional[KernelCallback] = None,
+    ) -> None:
+        if not indices:
+            return
+        last = indices[-1]
+        for index in indices:
+            kernel = entry.request.make_kernel(index)
+            callback = kernel_done
+            if index == last and last_callback is not None:
+                callback = last_callback
+            self.engine.launch(kernel, queue, on_finish=callback)

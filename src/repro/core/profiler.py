@@ -1,0 +1,173 @@
+"""Offline profiler (§4.2): per-kernel statistics at every partition size.
+
+For an application provisioned ``n%`` of the GPU the profiler records:
+
+* ``T[n%]``     — isolated request latency on an MPS partition of n%;
+* ``t[n%][k]``  — duration of kernel *k* at n% SMs;
+* ``tau[n%][k]``— elapsed time from request start to the end of *k*;
+* ``d%[k]``     — the kernel's maximum active SM usage.
+
+The paper measures these with CUDA events over ``N`` solo runs (one per
+partition size).  Our simulator's solo-run kernel duration at a
+partition is exactly ``KernelSpec.duration_at``, so the profile can be
+computed analytically; :func:`profile_via_simulation` cross-checks that
+the analytic profile matches an actual simulated solo run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..apps.application import Application
+from ..gpusim.device import GPUSpec
+from .config import BlessConfig, DEFAULT_CONFIG
+
+
+@dataclass
+class AppProfile:
+    """Profiled data of one application over all partition sizes."""
+
+    app_name: str
+    num_partitions: int
+    # durations[p][k]: duration of kernel k at partition index p (1-based
+    # index stored at p-1).
+    durations: np.ndarray
+    # elapsed[p][k]: time from request start to end of kernel k,
+    # including the host dispatch gaps between kernels.
+    elapsed: np.ndarray
+    # sm_demand[k]: the kernel's d%.
+    sm_demand: np.ndarray
+    # gaps[k]: host dispatch gap preceding kernel k.
+    gaps: np.ndarray
+    # mem_intensity[k]: bandwidth appetite, used by the wave estimator.
+    mem_intensity: np.ndarray
+    memory_mb: int
+    # Simulated profiling cost (one full run + N partitioned runs).
+    profiling_cost_us: float = 0.0
+
+    @property
+    def num_kernels(self) -> int:
+        return self.durations.shape[1]
+
+    def duration(self, partition: int, kernel: int) -> float:
+        """``t[n%][k]`` with ``partition`` 1-based."""
+        return float(self.durations[partition - 1, kernel])
+
+    def step_cost(self, partition: int, kernel: int) -> float:
+        """Kernel duration plus its preceding dispatch gap — the time
+        the kernel occupies on its request's critical path."""
+        return float(self.durations[partition - 1, kernel] + self.gaps[kernel])
+
+    def tau(self, partition: int, kernel: int) -> float:
+        """``tau[n%][k]`` with ``partition`` 1-based."""
+        return float(self.elapsed[partition - 1, kernel])
+
+    def iso_latency(self, partition: int) -> float:
+        """``T[n%]`` — isolated latency at a partition size."""
+        return float(self.elapsed[partition - 1, -1])
+
+    def stack_duration(self, partition: int, start: int, end: int) -> float:
+        """Critical-path time of kernels ``[start, end)`` in one queue
+        (Eq. 1 term): durations plus the dispatch gaps between them."""
+        if start >= end:
+            return 0.0
+        return float(
+            self.durations[partition - 1, start:end].sum()
+            + self.gaps[start:end].sum()
+        )
+
+    def duration_at_fraction(self, fraction: float, kernel: int) -> float:
+        """Duration at an arbitrary SM fraction, interpolated over the
+        profiled partition grid (§4.4.2: 'the duration of a kernel using
+        the desired number of SM is interpolated')."""
+        grid = np.arange(1, self.num_partitions + 1) / self.num_partitions
+        fraction = min(1.0, max(grid[0], fraction))
+        return float(np.interp(fraction, grid, self.durations[:, kernel]))
+
+    def mean_kernel_duration(self) -> float:
+        return float(self.durations[-1].mean())
+
+
+class OfflineProfiler:
+    """Profiles applications at deployment time (§4.2.1)."""
+
+    def __init__(
+        self,
+        config: BlessConfig = DEFAULT_CONFIG,
+        gpu_spec: Optional[GPUSpec] = None,
+    ):
+        self.config = config
+        self.gpu_spec = gpu_spec or GPUSpec()
+        self._cache: Dict[str, AppProfile] = {}
+
+    def profile(self, app: Application) -> AppProfile:
+        """Profile ``app`` at every partition size (cached per app name)."""
+        cached = self._cache.get(app.name)
+        if cached is not None:
+            return cached
+
+        n = self.config.num_partitions
+        kernels = app.kernels
+        durations = np.empty((n, len(kernels)), dtype=float)
+        for p in range(1, n + 1):
+            fraction = p / n
+            durations[p - 1] = [k.duration_at(fraction) for k in kernels]
+        gaps = np.array([k.dispatch_gap_us for k in kernels], dtype=float)
+        elapsed = (durations + gaps[None, :]).cumsum(axis=1)
+        demand = np.array([k.sm_demand for k in kernels], dtype=float)
+        intensity = np.array([k.mem_intensity for k in kernels], dtype=float)
+
+        # One full run to get overall performance + N partitioned runs
+        # (the paper's O(MN) profiling procedure).
+        cost = float(elapsed[-1, -1]) + float(elapsed[:, -1].sum())
+        profile = AppProfile(
+            app_name=app.name,
+            num_partitions=n,
+            durations=durations,
+            elapsed=elapsed,
+            sm_demand=demand,
+            gaps=gaps,
+            mem_intensity=intensity,
+            memory_mb=app.memory_mb,
+            profiling_cost_us=cost,
+        )
+        self._cache[app.name] = profile
+        return profile
+
+
+def profile_via_simulation(
+    app: Application,
+    partition: int,
+    config: BlessConfig = DEFAULT_CONFIG,
+    gpu_spec: Optional[GPUSpec] = None,
+) -> List[float]:
+    """Measure kernel durations of a solo run on the simulator.
+
+    Cross-validation helper: launches the app alone on an MPS partition
+    and returns the per-kernel measured durations, which must agree with
+    the analytic profile (the simulator uses the same scaling law).
+    """
+    from ..gpusim.context import ContextRegistry
+    from ..gpusim.device import GPUDevice
+    from ..gpusim.engine import SimEngine
+    from ..gpusim.kernel import KernelInstance
+
+    spec = gpu_spec or GPUSpec()
+    engine = SimEngine(device=GPUDevice(spec))
+    registry = ContextRegistry(engine.device)
+    fraction = config.partition_fraction(partition)
+    context = registry.create(app.app_id, fraction, charge_memory=False)
+    queue = engine.create_queue(context)
+    measured: List[float] = []
+
+    def record(kernel: KernelInstance) -> None:
+        measured.append(kernel.finish_time - kernel.start_time)
+
+    for index in range(len(app.kernels)):
+        instance = KernelInstance(spec=app.kernels[index], app_id=app.app_id, seq=index)
+        engine.launch(instance, queue, on_finish=record)
+    engine.run()
+    return measured

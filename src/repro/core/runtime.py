@@ -1,0 +1,212 @@
+"""The BLESS runtime (§4): the paper's primary contribution, end to end.
+
+``BlessRuntime`` plugs the three online components into the shared
+serving harness:
+
+1. the **multi-task scheduler** tracks per-request progress and builds
+   kernel squads at every squad boundary (§4.3);
+2. the **execution configuration determiner** picks each squad's
+   spatial plan with the two estimators (§4.4);
+3. the **concurrent kernel manager** launches the squad into the
+   pre-established GPU contexts, realising Semi-SP spatial-temporal
+   sharing (§4.5).
+
+Between boundaries the host runs in parallel with the GPU; scheduling
+cost is charged only when it cannot be hidden behind the previous
+squad's execution (§6.9).  Fig. 20's ablations are the two config
+switches; §6.5's SLO mode is ``BlessConfig.slo_targets_us``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..apps.application import Request
+from ..baselines.base import ClientState, SharingSystem
+from ..gpusim.device import GPUSpec
+from ..gpusim.kernel import KernelInstance
+from .config import BlessConfig, DEFAULT_CONFIG
+from .configurator import (
+    ExecutionConfigDeterminer,
+    quota_proportional_config,
+)
+from .kernel_manager import ConcurrentKernelManager, SquadExecution
+from .profiler import AppProfile, OfflineProfiler
+from .progress import RequestProgress
+from .squad import generate_squad
+
+
+class BlessRuntime(SharingSystem):
+    """Bubble-less spatial-temporal GPU sharing."""
+
+    name = "BLESS"
+
+    def __init__(
+        self,
+        config: BlessConfig = DEFAULT_CONFIG,
+        gpu_spec: Optional[GPUSpec] = None,
+        record_timeline: bool = False,
+        hw_policy: str = "fair",
+        validate: bool = False,
+    ):
+        super().__init__(
+            gpu_spec=gpu_spec,
+            record_timeline=record_timeline,
+            hw_policy=hw_policy,
+            validate=validate,
+        )
+        self.config = config
+        self.profiler = OfflineProfiler(config=config, gpu_spec=self.gpu_spec)
+        self.determiner = ExecutionConfigDeterminer(config)
+        # Populated in setup():
+        self.manager: ConcurrentKernelManager
+        self.profiles: Dict[str, AppProfile] = {}
+        self._partition_of: Dict[str, int] = {}
+        self._t_ref: Dict[str, float] = {}
+        self._squad_inflight = False
+        self._last_squad_duration = 0.0
+        self._squad_count = 0
+        self._squad_kernel_total = 0
+        self._spatial_squads = 0
+
+    # ------------------------------------------------------------------
+    # Deployment (§4.2)
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        self.manager = ConcurrentKernelManager(
+            self.engine, self.registry, self.config
+        )
+        self.profiles = {}
+        self._partition_of = {}
+        self._t_ref = {}
+        self._squad_inflight = False
+        self._last_squad_duration = 0.0
+        self._squad_count = 0
+        self._squad_kernel_total = 0
+        self._spatial_squads = 0
+
+        slo = self.config.slo_targets_us or {}
+        for client in self.clients.values():
+            app = client.app
+            profile = self.profiler.profile(app)
+            self.profiles[app.app_id] = profile
+            partition = self.config.nearest_partition(app.quota)
+            self._partition_of[app.app_id] = partition
+            self._t_ref[app.app_id] = slo.get(
+                app.app_id, profile.iso_latency(partition)
+            )
+            self.manager.register_client(app.app_id)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def on_request_activated(self, client: ClientState) -> None:
+        if not self._squad_inflight:
+            self._schedule_round(from_idle=True)
+
+    def _active_progresses(self) -> List[RequestProgress]:
+        progresses = []
+        for client in self.clients.values():
+            request = client.active
+            if request is None or request.all_scheduled:
+                continue
+            app_id = client.app_id
+            progresses.append(
+                RequestProgress(
+                    request=request,
+                    profile=self.profiles[app_id],
+                    partition=self._partition_of[app_id],
+                    t_ref_us=self._t_ref[app_id],
+                )
+            )
+        return progresses
+
+    def _schedule_round(self, from_idle: bool = False) -> None:
+        """Arm the next scheduling round.
+
+        Squad generation is deferred by the squad-boundary sync (20 µs,
+        §6.9) — or a zero-delay event when waking from idle — so that
+        every request arriving up to the generation instant joins the
+        squad.  Without the deferral, two requests arriving at the same
+        simulated time would be split into consecutive solo squads.
+        """
+        self._squad_inflight = True
+        delay = 0.0 if from_idle else self.gpu_spec.sync_overhead_us
+        self.engine.schedule(delay, lambda: self._generate_and_launch(from_idle))
+
+    def _generate_and_launch(self, from_idle: bool) -> None:
+        progresses = self._active_progresses()
+        if not progresses:
+            self._squad_inflight = False
+            return
+
+        # Generate against the *projected* end-of-squad time: a request
+        # must receive enough kernels to still be on its plan when this
+        # squad finishes, not merely now.  Without the horizon, a
+        # high-quota (small T[n%]) app carries a standing lag of about
+        # one squad duration — exactly the deviation Fig. 14 penalises.
+        now = self.engine.now + self._last_squad_duration
+        squad = generate_squad(progresses, now, self.config)
+        if squad.total_kernels == 0:
+            self._squad_inflight = False
+            return
+
+        if self.config.use_config_determiner:
+            exec_config = self.determiner.determine(squad, self.profiles)
+        else:
+            quotas = {c.app_id: c.app.quota for c in self.clients.values()}
+            exec_config = quota_proportional_config(
+                squad, self.profiles, quotas, self.config
+            )
+
+        # Host-side scheduling cost (§6.9): the host pipelines ~6.7us of
+        # work per kernel with the GPU, so only the first kernel's
+        # scheduling is exposed — plus any residue when kernels are so
+        # short the host cannot keep ahead ("overspending").
+        per_kernel = self.config.scheduling_us_per_kernel
+        sched_time = per_kernel * squad.total_kernels
+        overspend = max(0.0, sched_time - exec_config.predicted_duration_us)
+        delay = per_kernel + overspend
+
+        self._squad_count += 1
+        self._squad_kernel_total += squad.total_kernels
+        if exec_config.is_spatial:
+            self._spatial_squads += 1
+
+        launch = lambda: self.manager.execute_squad(
+            squad,
+            exec_config,
+            on_kernel_finish=self._on_kernel_finish,
+            on_done=self._on_squad_done,
+        )
+        if delay > 0:
+            self.engine.schedule(delay, launch)
+        else:
+            launch()
+
+    def _on_kernel_finish(self, kernel: KernelInstance) -> None:
+        client = self.clients.get(kernel.app_id)
+        if client is None or client.active is None:
+            return
+        request = client.active
+        if (
+            kernel.request_id == request.request_id
+            and kernel.seq == request.total_kernels - 1
+        ):
+            self.finish_request(client)
+
+    def _on_squad_done(self, execution: SquadExecution) -> None:
+        self._last_squad_duration = execution.duration_us
+        self._schedule_round(from_idle=False)
+
+    # ------------------------------------------------------------------
+    def serve(self, bindings):  # type: ignore[override]
+        result = super().serve(bindings)
+        result.extras["squads"] = float(self._squad_count)
+        result.extras["spatial_squads"] = float(self._spatial_squads)
+        result.extras["context_switches"] = float(self.manager.context_switches)
+        if self._squad_count:
+            result.extras["kernels_per_squad"] = (
+                self._squad_kernel_total / self._squad_count
+            )
+        return result

@@ -1,0 +1,136 @@
+"""Kernel squads and their generation (§4.3.2).
+
+A kernel squad is a group of kernels drawn from the currently active
+requests.  In each generation step the scheduler picks the next kernel
+of the *laggiest* request (§ ``repro.core.progress``).  Generation
+stops when (1) the squad reaches the configured maximum kernel count,
+or (2) the selected kernel is the last kernel of a request — so request
+completions always coincide with squad boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..apps.application import Request
+from .config import BlessConfig
+from .progress import RequestProgress
+
+
+@dataclass
+class SquadEntry:
+    """The kernels one request contributes to a squad."""
+
+    request: Request
+    kernel_indices: List[int] = field(default_factory=list)
+
+    @property
+    def app_id(self) -> str:
+        return self.request.app.app_id
+
+    @property
+    def count(self) -> int:
+        return len(self.kernel_indices)
+
+
+@dataclass
+class KernelSquad:
+    """A generated squad: per-request kernel slices, in selection order."""
+
+    entries: Dict[str, SquadEntry] = field(default_factory=dict)
+
+    @property
+    def total_kernels(self) -> int:
+        return sum(e.count for e in self.entries.values())
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.entries)
+
+    @property
+    def app_ids(self) -> List[str]:
+        return list(self.entries)
+
+    def entry(self, app_id: str) -> SquadEntry:
+        return self.entries[app_id]
+
+    def add(self, request: Request, kernel_index: int) -> None:
+        app_id = request.app.app_id
+        entry = self.entries.get(app_id)
+        if entry is None:
+            entry = SquadEntry(request=request)
+            self.entries[app_id] = entry
+        entry.kernel_indices.append(kernel_index)
+
+
+def generate_squad(
+    progresses: Sequence[RequestProgress],
+    now: float,
+    config: BlessConfig,
+) -> KernelSquad:
+    """Build the next kernel squad from the active requests.
+
+    Implements the paper's generation loop (Fig. 6): repeatedly select a
+    kernel from the laggiest request until the squad is full or a
+    request's final kernel is selected.  With the multi-task scheduler
+    ablated (Fig. 20), requests are drained round-robin instead of by
+    progress.
+    """
+    squad = KernelSquad()
+    candidates = [p for p in progresses if not p.exhausted]
+    if not candidates:
+        return squad
+
+    limit = config.max_kernels_per_squad
+    solo = len(candidates) == 1
+    if solo:
+        # Solo streaming: keep squads short so a newly arriving request
+        # gets resources at the next (near) boundary (§3.3).  Both a
+        # kernel-count cap and a time budget apply — counts alone do
+        # not bound the reconfiguration latency when kernels are large.
+        limit = max(1, round(limit * config.solo_squad_fraction))
+
+    accumulated_us = 0.0
+    rr_index = 0
+    while squad.total_kernels < limit:
+        available = [p for p in candidates if not p.exhausted]
+        if not available:
+            break
+        if config.use_multitask_scheduler:
+            # Final tie-break: quota-weighted interleaving — the request
+            # with the smallest (kernels already in this squad / quota)
+            # goes next.  Exactly-tied requests (two identical apps
+            # arriving at the same instant) interleave instead of one
+            # filling the squad, and a 8/9-quota app correctly receives
+            # ~8x the kernels of a 1/9-quota co-runner at equal lag.
+            def key(p: RequestProgress):
+                entry = squad.entries.get(p.request.app.app_id)
+                in_squad = entry.count if entry is not None else 0
+                return (p.urgency(now), -in_squad / p.request.app.quota)
+
+            chosen = max(available, key=key)
+        else:
+            chosen = available[rr_index % len(available)]
+            rr_index += 1
+        index = chosen.request.next_kernel
+        end = index + 1
+        boundaries = chosen.request.app.graph_boundaries
+        if boundaries is not None:
+            # CUDA-graph granularity (§6.10): graphs are indivisible —
+            # take every kernel to the end of the current graph.
+            from .graphs import graph_end
+
+            end = graph_end(boundaries, index, chosen.request.total_kernels)
+        for kernel_index in range(index, end):
+            squad.add(chosen.request, kernel_index)
+            if solo:
+                accumulated_us += chosen.profile.step_cost(
+                    chosen.profile.num_partitions, kernel_index
+                )
+        chosen.request.next_kernel = end
+        if chosen.request.all_scheduled:
+            break
+        if solo and accumulated_us >= config.solo_squad_budget_us:
+            break
+    return squad

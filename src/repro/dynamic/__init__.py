@@ -1,0 +1,13 @@
+"""Dynamic applications (§6.10): LLM serving via per-DAG variants."""
+
+from .llm import DynamicLLMApp, LLMSpec
+from .router import LLMRequest, route_requests, synthesize_requests, variant_mix
+
+__all__ = [
+    "DynamicLLMApp",
+    "LLMRequest",
+    "LLMSpec",
+    "route_requests",
+    "synthesize_requests",
+    "variant_mix",
+]

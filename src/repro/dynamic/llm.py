@@ -1,0 +1,176 @@
+"""Synthetic LLM inference applications (§6.10's dynamic-app extension).
+
+The paper: "For dynamic applications, where the computation graph
+changes at runtime, BLESS must treat each separate compute DAG as an
+individual application and profile them during the deployment stage.
+For example, in the inference of Large Language Models, which exhibit
+an autoregressive computation pattern, BLESS could be enhanced by
+treating each forward pass as a distinct application DAG."
+
+This module builds that: a decoder-only transformer whose *prefill*
+forward pass depends on the prompt length (bucketed into a small menu
+of DAG variants, each a normal :class:`Application` BLESS can profile)
+plus a *decode-step* variant for autoregressive generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..apps.application import Application, AppKind
+from ..gpusim.kernel import KernelKind, KernelSpec
+
+
+@dataclass(frozen=True)
+class LLMSpec:
+    """A small decoder-only transformer, sized for a shared GPU."""
+
+    name: str = "llm-7b"
+    num_layers: int = 16
+    # Per-layer GEMM time for a 128-token prefill at full GPU, us.
+    layer_gemm_us: float = 55.0
+    # Per-layer attention time for a 128-token prefill, us (scales
+    # quadratically with sequence length).
+    layer_attention_us: float = 18.0
+    # Decode步 per-layer time (single token, KV-cached), us.
+    decode_layer_us: float = 9.0
+    weights_mb: int = 3500
+    kv_cache_mb_per_1k_tokens: int = 64
+
+
+def _prefill_kernels(spec: LLMSpec, seq_len: int) -> List[KernelSpec]:
+    """The prefill forward pass for one bucketed sequence length."""
+    rel = seq_len / 128.0
+    kernels: List[KernelSpec] = [
+        KernelSpec(
+            name=f"{spec.name}-p{seq_len}-h2d",
+            kind=KernelKind.H2D,
+            base_duration_us=max(2.0, seq_len * 0.05),
+            sm_demand=0.01,
+            mem_intensity=0.0,
+        )
+    ]
+    # Wider sequences saturate the GPU; short ones do not.
+    gemm_demand = min(1.0, 0.35 + 0.10 * rel)
+    attn_demand = min(1.0, 0.25 + 0.12 * rel)
+    for layer in range(spec.num_layers):
+        kernels.append(
+            KernelSpec(
+                name=f"{spec.name}-p{seq_len}-l{layer}-qkv",
+                base_duration_us=spec.layer_gemm_us * rel,
+                sm_demand=gemm_demand,
+                mem_intensity=0.45,
+                dispatch_gap_us=4.0,
+            )
+        )
+        kernels.append(
+            KernelSpec(
+                name=f"{spec.name}-p{seq_len}-l{layer}-attn",
+                base_duration_us=spec.layer_attention_us * rel * rel,
+                sm_demand=attn_demand,
+                mem_intensity=0.55,
+                dispatch_gap_us=3.0,
+            )
+        )
+        kernels.append(
+            KernelSpec(
+                name=f"{spec.name}-p{seq_len}-l{layer}-mlp",
+                base_duration_us=spec.layer_gemm_us * 1.6 * rel,
+                sm_demand=gemm_demand,
+                mem_intensity=0.5,
+                dispatch_gap_us=4.0,
+            )
+        )
+    kernels.append(
+        KernelSpec(
+            name=f"{spec.name}-p{seq_len}-d2h",
+            kind=KernelKind.D2H,
+            base_duration_us=2.0,
+            sm_demand=0.01,
+            mem_intensity=0.0,
+        )
+    )
+    return kernels
+
+
+def _decode_kernels(spec: LLMSpec, steps: int) -> List[KernelSpec]:
+    """``steps`` autoregressive single-token forward passes."""
+    kernels: List[KernelSpec] = []
+    for step in range(steps):
+        for layer in range(spec.num_layers):
+            kernels.append(
+                KernelSpec(
+                    name=f"{spec.name}-d{steps}-s{step}-l{layer}",
+                    base_duration_us=spec.decode_layer_us,
+                    sm_demand=0.3,          # memory-bound, narrow
+                    mem_intensity=0.7,
+                    dispatch_gap_us=2.0,
+                )
+            )
+    kernels.append(
+        KernelSpec(
+            name=f"{spec.name}-d{steps}-d2h",
+            kind=KernelKind.D2H,
+            base_duration_us=2.0,
+            sm_demand=0.01,
+            mem_intensity=0.0,
+        )
+    )
+    return kernels
+
+
+@dataclass
+class DynamicLLMApp:
+    """An LLM service exposed as a menu of pre-profiled DAG variants.
+
+    Each variant is an ordinary :class:`Application` (so the ordinary
+    profiler/scheduler machinery applies); a request is routed to the
+    variant matching its bucketed prompt length or decode-chunk size.
+    """
+
+    spec: LLMSpec
+    quota: float
+    prefill_buckets: Tuple[int, ...] = (64, 128, 256, 512)
+    decode_chunk: int = 16
+    variants: Dict[str, Application] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.prefill_buckets:
+            raise ValueError("need at least one prefill bucket")
+        for bucket in self.prefill_buckets:
+            app_id = f"{self.spec.name}/prefill-{bucket}"
+            self.variants[app_id] = Application(
+                name=app_id,
+                kind=AppKind.INFERENCE,
+                kernels=_prefill_kernels(self.spec, bucket),
+                memory_mb=self.spec.weights_mb,
+                quota=self.quota,
+                app_id=app_id,
+            )
+        decode_id = f"{self.spec.name}/decode-{self.decode_chunk}"
+        self.variants[decode_id] = Application(
+            name=decode_id,
+            kind=AppKind.INFERENCE,
+            kernels=_decode_kernels(self.spec, self.decode_chunk),
+            memory_mb=self.spec.weights_mb,
+            quota=self.quota,
+            app_id=decode_id,
+        )
+
+    def bucket_for(self, prompt_len: int) -> str:
+        """The prefill variant id whose bucket covers ``prompt_len``."""
+        if prompt_len < 1:
+            raise ValueError("prompt length must be positive")
+        for bucket in self.prefill_buckets:
+            if prompt_len <= bucket:
+                return f"{self.spec.name}/prefill-{bucket}"
+        return f"{self.spec.name}/prefill-{self.prefill_buckets[-1]}"
+
+    @property
+    def decode_variant(self) -> str:
+        return f"{self.spec.name}/decode-{self.decode_chunk}"
+
+    def memory_mb(self) -> int:
+        """Weights are shared across variants; count them once."""
+        return self.spec.weights_mb

@@ -1,0 +1,51 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run(...) -> dict`` (structured results) and a
+``main()`` that prints the same rows/series the paper reports.  Run one
+with ``python -m repro.experiments.<name>``.
+
+===========================  =========================================
+module                       reproduces
+===========================  =========================================
+``tab01_applications``       Table 1 (application properties)
+``fig04_motivation``         Fig. 1 / Fig. 4(b) motivation pair
+``fig09_interference``       Fig. 9 kernel/app-level interference
+``fig10_predictors``         Fig. 10 + estimator accuracy (§4.4.2)
+``fig12_latency_chart``      Fig. 12 latency charts
+``fig13_overall``            Fig. 13 overall (inference + training)
+``fig13_traces``             §6.3 real-world traces (workload D)
+``fig14_deviation``          Fig. 14 latency deviation
+``fig15_multiapp``           Fig. 15 four/eight co-located apps
+``fig16_biased``             Fig. 16 biased workload E
+``fig17_squads``             Fig. 17 squad policies SEQ/NSP/SP/Semi-SP
+``fig18_finegrained``        Fig. 18 fine-grained analysis
+``fig19_hyperparams``        Fig. 19 hyper-parameter sweeps
+``fig20_ablation``           Fig. 20 ablation study
+``sec65_slo``                §6.5 SLO guarantees
+``sec69_overhead``           §6.9 scheduling overheads
+===========================  =========================================
+"""
+
+ALL_EXPERIMENTS = [
+    "tab01_applications",
+    "fig01_bubbles",
+    "fig04_motivation",
+    "fig09_interference",
+    "fig10_predictors",
+    "fig12_latency_chart",
+    "fig13_overall",
+    "fig13_traces",
+    "fig14_deviation",
+    "fig15_multiapp",
+    "fig16_biased",
+    "fig17_squads",
+    "fig18_finegrained",
+    "fig19_hyperparams",
+    "fig20_ablation",
+    "sec65_slo",
+    "sec69_overhead",
+]
+
+# Reproduction-specific ablations (DESIGN.md design choices).
+ALL_EXPERIMENTS.append("ablations_extra")
+ALL_EXPERIMENTS.append("tail_latency")

@@ -1,0 +1,92 @@
+"""Shared helpers for the per-figure experiment harnesses.
+
+Every experiment module exposes ``run(...) -> dict`` returning the
+structured data the paper's figure/table plots, plus a ``main()`` that
+prints it as rows.  Benchmarks under ``benchmarks/`` call ``run`` with
+small request counts; the examples and EXPERIMENTS.md use the defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from ..baselines import (
+    GSLICESystem,
+    ISOSystem,
+    MIGSystem,
+    REEFPlusSystem,
+    SharingSystem,
+    TemporalSystem,
+    UnboundSystem,
+    ZicoSystem,
+)
+from ..core import BlessConfig, BlessRuntime
+from ..metrics.stats import ServingResult
+from ..workloads.suite import WorkloadBinding
+
+# The comparison matrix of §6.1 for inference workloads.
+INFERENCE_SYSTEMS: Dict[str, Callable[[], SharingSystem]] = {
+    "ISO": ISOSystem,
+    "TEMPORAL": TemporalSystem,
+    "MIG": MIGSystem,
+    "GSLICE": GSLICESystem,
+    "UNBOUND": UnboundSystem,
+    "REEF+": REEFPlusSystem,
+    "BLESS": BlessRuntime,
+}
+
+# GSLICE and REEF+ are inference-only (§6.3); ZICO replaces them.
+TRAINING_SYSTEMS: Dict[str, Callable[[], SharingSystem]] = {
+    "ISO": ISOSystem,
+    "TEMPORAL": TemporalSystem,
+    "MIG": MIGSystem,
+    "UNBOUND": UnboundSystem,
+    "ZICO": ZicoSystem,
+    "BLESS": BlessRuntime,
+}
+
+
+def serve_all(
+    bindings_factory: Callable[[], Sequence[WorkloadBinding]],
+    systems: Optional[Dict[str, Callable[[], SharingSystem]]] = None,
+) -> Dict[str, ServingResult]:
+    """Serve the same (freshly bound) workload on every system."""
+    chosen = systems or INFERENCE_SYSTEMS
+    results = {}
+    for name, factory in chosen.items():
+        results[name] = factory().serve(bindings_factory())
+    return results
+
+
+def mean_latency_ms(result: ServingResult) -> float:
+    return result.mean_of_app_means() / 1000.0
+
+
+def reduction_vs(results: Dict[str, ServingResult], reference: str) -> Dict[str, float]:
+    """Fractional latency reduction of BLESS vs each other system."""
+    bless = mean_latency_ms(results["BLESS"])
+    out = {}
+    for name, result in results.items():
+        if name in ("BLESS", reference):
+            continue
+        other = mean_latency_ms(result)
+        out[name] = 1.0 - bless / other if other > 0 else float("nan")
+    return out
+
+
+def format_table(
+    header: List[str], rows: List[List[str]], title: str = ""
+) -> str:
+    """Plain fixed-width table used by every experiment's main()."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Fig. 1 / Fig. 4(b): the motivating VGG11 + ResNet50 co-location.
+
+The paper measures the latency of executing a VGG11 request and a
+ResNet50 request simultaneously (quotas 1/3 and 2/3) under each
+scheduling scheme.  Paper numbers: static 16.8 ms, unbounded 13.1 ms,
+biased (REEF-style) 14.3 ms, BLESS 11.3 ms average.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..apps.models import inference_app
+from ..workloads.arrivals import OneShot
+from ..workloads.suite import WorkloadBinding
+from .common import INFERENCE_SYSTEMS, format_table, mean_latency_ms
+
+
+def _bindings():
+    vgg = inference_app("VGG").with_quota(1 / 3, app_id="VGG-inf#1")
+    r50 = inference_app("R50").with_quota(2 / 3, app_id="R50-inf#2")
+    return [
+        WorkloadBinding(app=vgg, process_factory=OneShot),
+        WorkloadBinding(app=r50, process_factory=OneShot),
+    ]
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    """Average and per-app latencies (ms) of the simultaneous pair."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, factory in INFERENCE_SYSTEMS.items():
+        result = factory().serve(_bindings())
+        per_app = {a: v / 1000.0 for a, v in result.per_app_mean_latency().items()}
+        per_app["avg"] = mean_latency_ms(result)
+        out[name] = per_app
+    return out
+
+
+def main() -> None:
+    data = run()
+    apps = sorted(k for k in next(iter(data.values())) if k != "avg")
+    rows = []
+    for name, stats in data.items():
+        rows.append(
+            [name]
+            + [f"{stats[a]:.1f}" for a in apps]
+            + [f"{stats['avg']:.1f}"]
+        )
+    print(
+        format_table(
+            ["system"] + apps + ["avg"],
+            rows,
+            title="Fig. 4(b): one VGG11 + one ResNet50 request, simultaneous",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Fig. 12: latency charts of pair-wise deployments under BLESS.
+
+Each point is the (app1 latency, app2 latency) pair under one of the
+seven Table-2 quota assignments, together with the ISO target point —
+the paper's mint-green feasibility region.  Points should dominate
+(lie below) their ISO targets for every quota split, and move toward
+the origin as the load drops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..apps.models import inference_app
+from ..baselines.iso import ISOSystem
+from ..core.runtime import BlessRuntime
+from ..workloads.suite import QUOTAS_2MODEL, bind_load
+from .common import format_table
+
+
+def run(
+    model_a: str = "R50",
+    model_b: str = "VGG",
+    load: str = "B",
+    requests: int = 8,
+) -> List[Dict[str, float]]:
+    """One chart: latencies under each quota split, with ISO targets."""
+    points = []
+    for quota_a, quota_b in QUOTAS_2MODEL:
+        apps = [
+            inference_app(model_a).with_quota(quota_a, app_id="app1"),
+            inference_app(model_b).with_quota(quota_b, app_id="app2"),
+        ]
+        bless = BlessRuntime().serve(bind_load(apps, load, requests=requests))
+        iso = ISOSystem().serve(bind_load(apps, load, requests=requests))
+        points.append(
+            {
+                "quota_a": quota_a,
+                "quota_b": quota_b,
+                "bless_a_ms": bless.mean_latency("app1") / 1000.0,
+                "bless_b_ms": bless.mean_latency("app2") / 1000.0,
+                "iso_a_ms": iso.mean_latency("app1") / 1000.0,
+                "iso_b_ms": iso.mean_latency("app2") / 1000.0,
+            }
+        )
+    return points
+
+
+def run_cases(requests: int = 8) -> Dict[str, List[Dict[str, float]]]:
+    """The four chart cases of Fig. 12."""
+    return {
+        # (a)/(b): symmetric workload at two load levels.
+        "a_R50xR50_loadB": run("R50", "R50", "B", requests),
+        "b_R50xR50_loadC": run("R50", "R50", "C", requests),
+        # (c): homogeneous kernels (two CNNs), (d): heterogeneous.
+        "c_R50xR101_loadB": run("R50", "R101", "B", requests),
+        "d_NASxBERT_loadB": run("NAS", "BERT", "B", requests),
+    }
+
+
+def main() -> None:
+    for case, points in run_cases().items():
+        rows = [
+            [
+                f"({p['quota_a']:.2f},{p['quota_b']:.2f})",
+                f"{p['bless_a_ms']:.1f}",
+                f"{p['bless_b_ms']:.1f}",
+                f"{p['iso_a_ms']:.1f}",
+                f"{p['iso_b_ms']:.1f}",
+            ]
+            for p in points
+        ]
+        print(
+            format_table(
+                ["quotas", "BLESS app1", "BLESS app2", "ISO app1", "ISO app2"],
+                rows,
+                title=f"Fig. 12 case {case} (ms)",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

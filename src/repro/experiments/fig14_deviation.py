@@ -1,0 +1,81 @@
+"""Fig. 14: average latency deviation under uneven quota assignments.
+
+Nine pair-wise deployments (5 symmetric + 4 asymmetric "R50 + other")
+are served under the seven Table-2 quota splits; each system's latency
+deviation vs the ISO targets is averaged.  The paper reports TEMPORAL
+14.3 ms, GSLICE 2.1 ms, BLESS 0.6 ms — and MIG infeasible for most of
+these splits (fixed 1/7 slice granularity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..apps.models import MODEL_NAMES, inference_app
+from ..baselines.iso import iso_targets_us
+from ..metrics.deviation import latency_deviation_us
+from ..workloads.suite import QUOTAS_2MODEL, bind_load
+from .common import INFERENCE_SYSTEMS, serve_all
+
+
+def _pairs() -> List[List[str]]:
+    symmetric = [[m, m] for m in MODEL_NAMES]
+    asymmetric = [["R50", m] for m in MODEL_NAMES if m != "R50"]
+    return symmetric + asymmetric
+
+
+def run(
+    load: str = "B",
+    requests: int = 6,
+    systems=("TEMPORAL", "GSLICE", "UNBOUND", "REEF+", "BLESS"),
+    quotas=QUOTAS_2MODEL,
+) -> Dict[str, float]:
+    """Mean latency deviation (us) per system over pairs x quota splits."""
+    deviations: Dict[str, List[float]] = {name: [] for name in systems}
+    for model_a, model_b in _pairs():
+        for quota_a, quota_b in quotas:
+            apps = [
+                inference_app(model_a).with_quota(quota_a, app_id="app1"),
+                inference_app(model_b).with_quota(quota_b, app_id="app2"),
+            ]
+            bindings = lambda: bind_load(apps, load, requests=requests)
+            targets = iso_targets_us(bindings())
+            chosen = {name: INFERENCE_SYSTEMS[name] for name in systems}
+            results = serve_all(bindings, systems=chosen)
+            for name, result in results.items():
+                deviations[name].append(latency_deviation_us(result, targets))
+    return {name: float(np.mean(values)) for name, values in deviations.items()}
+
+
+def run_quick(load: str = "B", requests: int = 5) -> Dict[str, float]:
+    """Smaller version for benches: 3 pairs x 3 quota splits."""
+    quotas = (QUOTAS_2MODEL[0], QUOTAS_2MODEL[3], QUOTAS_2MODEL[6])
+    deviations: Dict[str, List[float]] = {}
+    for model_a, model_b in [["R50", "R50"], ["R50", "VGG"], ["BERT", "BERT"]]:
+        for quota_a, quota_b in quotas:
+            apps = [
+                inference_app(model_a).with_quota(quota_a, app_id="app1"),
+                inference_app(model_b).with_quota(quota_b, app_id="app2"),
+            ]
+            bindings = lambda: bind_load(apps, load, requests=requests)
+            targets = iso_targets_us(bindings())
+            for name in ("TEMPORAL", "GSLICE", "BLESS"):
+                result = INFERENCE_SYSTEMS[name]().serve(bindings())
+                deviations.setdefault(name, []).append(
+                    latency_deviation_us(result, targets)
+                )
+    return {name: float(np.mean(v)) for name, v in deviations.items()}
+
+
+def main() -> None:
+    data = run()
+    print("Fig. 14: average latency deviation (ms), lower is better")
+    for name, value in sorted(data.items(), key=lambda kv: kv[1], reverse=True):
+        print(f"  {name:9s} {value / 1000.0:7.2f}")
+    print("(paper: TEMPORAL 14.3, GSLICE 2.1, BLESS 0.6; MIG infeasible)")
+
+
+if __name__ == "__main__":
+    main()

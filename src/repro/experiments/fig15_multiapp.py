@@ -1,0 +1,62 @@
+"""Fig. 15: beyond pair-wise sharing — 4 and 8 co-located applications.
+
+Requests from all applications arrive at the same time; quotas follow
+Table 2's 4-model (10/20/30/40%) and 8-model (5..20%) menus.  The paper
+reports BLESS reducing average latency by 41.2%/18.3% (4 apps, vs
+TEMPORAL/GSLICE) and 80.8%/35.5% (8 apps), with zero latency deviation
+for BLESS.  REEF+ is excluded (its static even split cannot be chosen
+optimally at runtime for many apps, §6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..baselines.iso import iso_targets_us
+from ..metrics.deviation import latency_deviation_us
+from ..workloads.suite import bind_load, multi_app_mix
+from .common import INFERENCE_SYSTEMS, format_table, mean_latency_ms, serve_all
+
+_SYSTEMS = ("TEMPORAL", "GSLICE", "UNBOUND", "BLESS")
+
+
+def run(requests: int = 5, load: str = "B") -> Dict[int, Dict[str, Dict[str, float]]]:
+    out: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for count in (4, 8):
+        apps = multi_app_mix(count)
+        bindings = lambda: bind_load(apps, load, requests=requests)
+        targets = iso_targets_us(bindings())
+        chosen = {name: INFERENCE_SYSTEMS[name] for name in _SYSTEMS}
+        results = serve_all(bindings, systems=chosen)
+        out[count] = {
+            name: {
+                "mean_ms": mean_latency_ms(result),
+                "deviation_ms": latency_deviation_us(result, targets) / 1000.0,
+            }
+            for name, result in results.items()
+        }
+    return out
+
+
+def main() -> None:
+    data = run()
+    for count, systems in data.items():
+        rows = [
+            [name, f"{stats['mean_ms']:.2f}", f"{stats['deviation_ms']:.2f}"]
+            for name, stats in systems.items()
+        ]
+        print(
+            format_table(
+                ["system", "avg latency (ms)", "deviation (ms)"],
+                rows,
+                title=f"Fig. 15: {count} co-located applications",
+            )
+        )
+        bless = systems["BLESS"]["mean_ms"]
+        for ref in ("TEMPORAL", "GSLICE"):
+            print(f"  BLESS vs {ref}: {1 - bless / systems[ref]['mean_ms']:.1%}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

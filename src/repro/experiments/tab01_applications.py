@@ -1,0 +1,65 @@
+"""Table 1: application properties (duration, kernel count, profile cost).
+
+Reproduces the benchmark-application table: per model and mode we report
+the solo-run duration, the number of computational kernels, and the
+offline profiling cost of §4.2 (one full run plus N partitioned runs on
+the simulated GPU).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps.models import MODEL_NAMES, inference_app, training_app, table1_expectation
+from ..baselines.iso import solo_latency_us
+from ..core.profiler import OfflineProfiler
+from .common import format_table
+
+
+def run() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Measured Table-1 rows: {mode: {model: {duration_ms, kernels, ...}}}."""
+    profiler = OfflineProfiler()
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for mode, maker in (("inference", inference_app), ("training", training_app)):
+        table[mode] = {}
+        for model in MODEL_NAMES:
+            app = maker(model)
+            profile = profiler.profile(app)
+            expected_ms, expected_kernels = table1_expectation(model, mode)
+            table[mode][model] = {
+                "duration_ms": solo_latency_us(app) / 1000.0,
+                "paper_duration_ms": expected_ms,
+                "kernels": float(app.num_compute_kernels),
+                "paper_kernels": float(expected_kernels),
+                "profile_cost_s": profile.profiling_cost_us / 1e6,
+            }
+    return table
+
+
+def main() -> None:
+    table = run()
+    for mode, models in table.items():
+        rows: List[List[str]] = []
+        for model, stats in models.items():
+            rows.append(
+                [
+                    model,
+                    f"{stats['duration_ms']:.1f}",
+                    f"{stats['paper_duration_ms']:.1f}",
+                    f"{int(stats['kernels'])}",
+                    f"{int(stats['paper_kernels'])}",
+                    f"{stats['profile_cost_s']:.2f}",
+                ]
+            )
+        print(
+            format_table(
+                ["model", "dur(ms)", "paper", "#kernels", "paper", "profile(s)"],
+                rows,
+                title=f"Table 1 ({mode})",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

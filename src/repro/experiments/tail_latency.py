@@ -1,0 +1,81 @@
+"""Tail latencies under sharing (an extension beyond the paper).
+
+The paper evaluates *average* latency; serving systems also live and
+die by their tails.  This experiment reports P50/P95/P99 per system on
+the medium-load symmetric pairs plus the jittered trace replay, to
+check that BLESS's bubble squeezing doesn't purchase its average with a
+heavier tail (it shouldn't: the deadline-risk scheduler specifically
+compensates requests whose promise is endangered, which is a tail-
+control mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..workloads.suite import bind_load, bind_trace, symmetric_pair
+from .common import INFERENCE_SYSTEMS, format_table
+
+_SYSTEMS = ("GSLICE", "UNBOUND", "BLESS")
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _collect(bindings_factory) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for name in _SYSTEMS:
+        result = INFERENCE_SYSTEMS[name]().serve(bindings_factory())
+        latencies = np.asarray(result.latencies())
+        out[name] = {
+            f"p{int(q)}": float(np.percentile(latencies, q)) / 1000.0
+            for q in _PERCENTILES
+        }
+        out[name]["mean"] = float(latencies.mean()) / 1000.0
+    return out
+
+
+def run(requests: int = 12, models=("R50", "BERT")) -> Dict[str, Dict[str, Dict[str, float]]]:
+    scenarios: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model in models:
+        apps = symmetric_pair(model)
+        scenarios[f"{model} pair, load B"] = _collect(
+            lambda apps=apps: bind_load(apps, "B", requests=requests)
+        )
+    apps = symmetric_pair("R50")
+    scenarios["R50 pair, azure trace"] = _collect(
+        lambda: bind_trace(apps, trace="azure", mean_interval_factor=4.0,
+                           duration_intervals=float(requests), seed=5)
+    )
+    return scenarios
+
+
+def run_quick(requests: int = 6) -> Dict[str, Dict[str, Dict[str, float]]]:
+    return run(requests=requests, models=("R50",))
+
+
+def main() -> None:
+    data = run()
+    for scenario, systems in data.items():
+        rows = [
+            [
+                name,
+                f"{stats['mean']:.2f}",
+                f"{stats['p50']:.2f}",
+                f"{stats['p95']:.2f}",
+                f"{stats['p99']:.2f}",
+            ]
+            for name, stats in systems.items()
+        ]
+        print(
+            format_table(
+                ["system", "mean", "P50", "P95", "P99"],
+                rows,
+                title=f"{scenario} (ms)",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

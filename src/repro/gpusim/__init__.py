@@ -1,0 +1,47 @@
+"""GPU simulator substrate: a discrete-event model of a shared GPU.
+
+This package replaces the physical Nvidia A100 used by the paper.  It
+models SMs as a divisible pool allocated max-min fairly by a hardware
+scheduler, MPS contexts with SM affinity, FIFO device queues, a
+saturating memory-bandwidth interference model, a PCIe DMA channel, MIG
+slicing, and the launch/sync/context-switch overheads of §6.9.
+"""
+
+from .context import ContextRegistry, GPUContext
+from .device import GPUDevice, GPUSpec, MemoryPool, OutOfMemoryError
+from .engine import SimEngine, TimelineSegment
+from .hwsched import Allocation, HardwareScheduler
+from .interference import InterferenceModel
+from .kernel import KernelInstance, KernelKind, KernelSpec
+from .mig import MIG_PROFILES, MIGInstance, assign_slices, nearest_profile, partition
+from .pcie import PCIeChannel
+from .stream import DeviceQueue
+from .tracing import KernelEvent, KernelTracer, load_jsonl, summarize_trace
+
+__all__ = [
+    "Allocation",
+    "assign_slices",
+    "ContextRegistry",
+    "DeviceQueue",
+    "GPUContext",
+    "GPUDevice",
+    "GPUSpec",
+    "HardwareScheduler",
+    "InterferenceModel",
+    "KernelInstance",
+    "KernelKind",
+    "KernelSpec",
+    "MemoryPool",
+    "MIGInstance",
+    "MIG_PROFILES",
+    "nearest_profile",
+    "OutOfMemoryError",
+    "partition",
+    "PCIeChannel",
+    "SimEngine",
+    "TimelineSegment",
+    "KernelEvent",
+    "KernelTracer",
+    "load_jsonl",
+    "summarize_trace",
+]

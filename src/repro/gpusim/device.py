@@ -1,0 +1,102 @@
+"""The simulated GPU device: SM pool, memory, bandwidth, clock rates.
+
+The device object is pure configuration plus memory bookkeeping; the
+dynamic behaviour (who runs when) lives in :mod:`repro.gpusim.engine`
+and :mod:`repro.gpusim.hwsched`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class GPUSpec:
+    """Static hardware description (defaults model an Nvidia A100)."""
+
+    name: str = "A100"
+    num_sms: int = 108
+    memory_mb: int = 40 * 1024
+    # Aggregate global-memory bandwidth, normalised to 1.0; the
+    # interference model works on fractions of this.
+    mem_bandwidth: float = 1.0
+    # PCIe gen4 x16 effective bandwidth, bytes/us (~25 GB/s).
+    pcie_bytes_per_us: float = 25_000.0
+    # Overhead charged by the simulator per kernel launch (paper: ~3us).
+    kernel_launch_us: float = 3.0
+    # MPS context switch vacuum period (paper: ~50us).
+    context_switch_us: float = 50.0
+    # Host/device synchronisation at a squad boundary (paper: ~20us).
+    sync_overhead_us: float = 20.0
+    # GPU memory consumed per extra MPS context (paper: ~230MB).
+    mps_context_mb: int = 230
+
+    def sm_fraction(self, num_sms: int) -> float:
+        """Convert a physical SM count to a fraction of this GPU."""
+        if not 0 <= num_sms <= self.num_sms:
+            raise ValueError(f"{num_sms} SMs out of range for {self.name}")
+        return num_sms / self.num_sms
+
+    def sm_count(self, fraction: float) -> int:
+        """Convert an SM fraction to a (rounded) physical SM count."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"SM fraction {fraction} out of [0, 1]")
+        return round(fraction * self.num_sms)
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a device memory allocation exceeds capacity."""
+
+
+@dataclass
+class MemoryPool:
+    """Tracks device-memory allocations per owner (application id)."""
+
+    capacity_mb: int
+    _allocations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def used_mb(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_mb(self) -> int:
+        return self.capacity_mb - self.used_mb
+
+    def allocate(self, owner: str, size_mb: int) -> None:
+        if size_mb < 0:
+            raise ValueError("allocation size must be non-negative")
+        if size_mb > self.free_mb:
+            raise OutOfMemoryError(
+                f"cannot allocate {size_mb}MB for {owner!r}: "
+                f"{self.free_mb}MB free of {self.capacity_mb}MB"
+            )
+        self._allocations[owner] = self._allocations.get(owner, 0) + size_mb
+
+    def release(self, owner: str) -> int:
+        """Free all memory owned by ``owner``; returns the amount freed."""
+        return self._allocations.pop(owner, 0)
+
+    def owned_by(self, owner: str) -> int:
+        return self._allocations.get(owner, 0)
+
+
+class GPUDevice:
+    """A simulated GPU: spec + memory pool + context registry."""
+
+    def __init__(self, spec: GPUSpec | None = None):
+        self.spec = spec or GPUSpec()
+        self.memory = MemoryPool(self.spec.memory_mb)
+        self._next_context_id = 0
+
+    def new_context_id(self) -> int:
+        cid = self._next_context_id
+        self._next_context_id += 1
+        return cid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GPUDevice({self.spec.name}, {self.spec.num_sms} SMs, "
+            f"{self.memory.free_mb}/{self.spec.memory_mb}MB free)"
+        )

@@ -1,0 +1,453 @@
+"""Discrete-event simulation engine with processor-sharing execution.
+
+The engine advances a simulated clock (microseconds) through events:
+kernel launches becoming visible to the device, kernel completions, and
+arbitrary host callbacks (request arrivals, scheduler wake-ups).
+
+Execution model
+---------------
+Every running compute kernel has ``remaining_work`` measured in
+solo-speed microseconds.  Whenever the set of running kernels changes,
+the engine re-derives each kernel's execution *rate*:
+
+``rate = spec.rate_at(sm_share) * interference_multiplier``
+
+where ``sm_share`` comes from the hardware scheduler's max-min fair
+allocation and the interference multiplier from the memory-bandwidth
+contention model.  Between state changes, work drains linearly, so the
+next completion time is exact — no time-stepping error.
+
+Memcpy kernels drain through the PCIe channel instead of the SM pool.
+SYNC kernels complete immediately when they reach the queue head.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .device import GPUDevice
+from .hwsched import HardwareScheduler
+from .interference import InterferenceModel
+from .kernel import KernelInstance, KernelKind
+from .pcie import PCIeChannel
+from .stream import DeviceQueue
+from .context import GPUContext
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+@dataclass
+class TimelineSegment:
+    """One interval of constant execution state (for figure rendering)."""
+
+    start: float
+    end: float
+    # kernel uid -> (app_id, sm_fraction, rate)
+    running: Dict[int, Tuple[str, float, float]]
+
+    @property
+    def busy_fraction(self) -> float:
+        return min(1.0, sum(sm for (_, sm, _) in self.running.values()))
+
+
+class SimEngine:
+    """Processor-sharing discrete-event GPU simulator."""
+
+    def __init__(
+        self,
+        device: Optional[GPUDevice] = None,
+        interference: Optional[InterferenceModel] = None,
+        record_timeline: bool = False,
+        hw_policy: str = "fair",
+        validate: bool = False,
+    ):
+        self.device = device or GPUDevice()
+        self.interference = interference or InterferenceModel()
+        self.hwsched = HardwareScheduler(policy=hw_policy)
+        # Debug mode: assert physical invariants on every rebalance
+        # (allocation feasibility, rate bounds, work conservation).
+        self.validate = validate
+        self.pcie = PCIeChannel()
+        self.now = 0.0
+        self._heap: List[_Event] = []
+        self._event_seq = itertools.count()
+        self._queues: List[DeviceQueue] = []
+        self._queue_of: Dict[int, DeviceQueue] = {}  # kernel uid -> queue
+        self._gap_events: Dict[int, float] = {}  # queue id -> pending wake time
+        self._running_compute: List[KernelInstance] = []
+        self._running_memcpy: List[KernelInstance] = []
+        self._completion_event: Optional[_Event] = None
+        self._finish_subscribers: List[Callable[[KernelInstance], None]] = []
+        self._per_kernel_callbacks: Dict[int, Callable[[KernelInstance], None]] = {}
+        # Utilization accounting: integral of busy SM fraction over time.
+        self._busy_integral = 0.0
+        self._busy_since = 0.0
+        self._current_busy_fraction = 0.0
+        self.record_timeline = record_timeline
+        self.timeline: List[TimelineSegment] = []
+        self._kernels_completed = 0
+
+    # ------------------------------------------------------------------
+    # Queue / context management
+    # ------------------------------------------------------------------
+    def create_queue(self, context: GPUContext, label: str = "") -> DeviceQueue:
+        queue = DeviceQueue(context=context, label=label)
+        self._queues.append(queue)
+        return queue
+
+    @property
+    def queues(self) -> List[DeviceQueue]:
+        return list(self._queues)
+
+    # ------------------------------------------------------------------
+    # Event scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: EventCallback) -> _Event:
+        """Run ``callback`` at ``now + delay`` (host-side event)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule event in the past (delay={delay})")
+        event = _Event(self.now + delay, next(self._event_seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: EventCallback) -> _Event:
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Kernel launch / completion
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: KernelInstance,
+        queue: DeviceQueue,
+        launch_overhead: Optional[float] = None,
+        on_finish: Optional[Callable[[KernelInstance], None]] = None,
+    ) -> None:
+        """Launch ``kernel`` into ``queue``.
+
+        The kernel becomes visible to the device after the launch
+        overhead (defaults to the device's ~3us kernel launch latency).
+        """
+        if launch_overhead is None:
+            launch_overhead = self.device.spec.kernel_launch_us
+        if on_finish is not None:
+            self._per_kernel_callbacks[kernel.uid] = on_finish
+
+        def make_visible() -> None:
+            queue.push(kernel, self.now)
+            self._queue_of[kernel.uid] = queue
+            self._dispatch()
+
+        if launch_overhead > 0:
+            self.schedule(launch_overhead, make_visible)
+        else:
+            make_visible()
+
+    def subscribe_finish(self, callback: Callable[[KernelInstance], None]) -> None:
+        """Register a callback invoked on every kernel completion."""
+        self._finish_subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Execution state machine
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Start head kernels of all queues that are idle, then rebalance."""
+        started = False
+        # SYNC kernels complete immediately; loop until heads are stable.
+        progressing = True
+        while progressing:
+            progressing = False
+            for queue in self._queues:
+                head = queue.head()
+                if head is None:
+                    continue
+                ready_at = queue.head_ready_at()
+                if ready_at is not None and ready_at > self.now + 1e-9:
+                    # Intra-request bubble: the host has not dispatched
+                    # the next kernel yet; wake up when it does.
+                    self._ensure_gap_event(queue, ready_at)
+                    continue
+                kernel = queue.start_head(self.now)
+                # Annotate execution context for tracers (the queue
+                # mapping is gone by completion-callback time).
+                kernel.traced_context_id = queue.context.context_id
+                kernel.traced_context_limit = queue.context.sm_limit
+                if kernel.spec.kind is KernelKind.SYNC or kernel.spec.base_duration_us == 0:
+                    self._complete_kernel(queue, kernel)
+                    progressing = True
+                elif kernel.spec.is_memcpy:
+                    self._running_memcpy.append(kernel)
+                    started = True
+                else:
+                    self._running_compute.append(kernel)
+                    started = True
+        if started or progressing:
+            self._rebalance()
+
+    def _ensure_gap_event(self, queue: DeviceQueue, ready_at: float) -> None:
+        """Schedule (once) a dispatch retry when a queue's gap expires."""
+        pending = self._gap_events.get(queue.queue_id)
+        if pending is not None and pending <= ready_at + 1e-9:
+            return
+        self._gap_events[queue.queue_id] = ready_at
+
+        def expire() -> None:
+            if self._gap_events.get(queue.queue_id) == ready_at:
+                del self._gap_events[queue.queue_id]
+            self._dispatch()
+            self._rebalance()
+
+        self.schedule_at(ready_at, expire)
+
+    def _rebalance(self) -> None:
+        """Recompute rates for all running kernels and the next completion."""
+        self._accrue_busy_time()
+
+        # Compute-kernel SM allocation.
+        allocations = self.hwsched.allocate(self._running_compute, self._queue_of)
+        active = [a for a in allocations if a.sm_fraction > 0]
+        interference_inputs = [
+            (
+                a.kernel.spec.mem_intensity,
+                self._queue_of[a.kernel.uid].context.restricted,
+            )
+            for a in active
+        ]
+        total_demand = sum(a.kernel.spec.sm_demand for a in active)
+        slowdowns = self.interference.slowdowns(
+            interference_inputs, total_sm_demand=total_demand
+        )
+
+        busy = 0.0
+        for alloc in allocations:
+            kernel = alloc.kernel
+            if alloc.sm_fraction <= 0:
+                kernel.current_rate = 0.0
+                kernel.current_sm_fraction = 0.0
+                continue
+            kernel.current_sm_fraction = alloc.sm_fraction
+            busy += alloc.sm_fraction
+        for alloc, slowdown in zip(active, slowdowns):
+            kernel = alloc.kernel
+            kernel.current_rate = kernel.spec.rate_at(alloc.sm_fraction) / slowdown
+        self._current_busy_fraction = min(1.0, busy)
+
+        if self.validate:
+            self._check_invariants(allocations)
+
+        # Memcpy kernels share the PCIe channel.
+        pcie_rates = self.pcie.rates(self._running_memcpy)
+        for kernel in self._running_memcpy:
+            kernel.current_rate = pcie_rates.get(kernel.uid, 0.0)
+            kernel.current_sm_fraction = 0.0
+
+        self._record_segment_start()
+        self._schedule_next_completion()
+
+    def _check_invariants(self, allocations) -> None:
+        """Debug-mode physical invariants (``validate=True``).
+
+        * the GPU is never oversubscribed (sum of SM shares <= 1);
+        * no kernel exceeds its own demand or its context's limit;
+        * every execution rate lies in [0, 1] (no free speedups);
+        * remaining work never goes negative.
+        """
+        total = 0.0
+        for alloc in allocations:
+            kernel = alloc.kernel
+            total += alloc.sm_fraction
+            if alloc.sm_fraction > kernel.spec.sm_demand + 1e-9:
+                raise AssertionError(
+                    f"{kernel.name}: granted {alloc.sm_fraction:.3f} SMs "
+                    f"above demand {kernel.spec.sm_demand:.3f}"
+                )
+            limit = self._queue_of[kernel.uid].context.sm_limit
+            if alloc.sm_fraction > limit + 1e-9:
+                raise AssertionError(
+                    f"{kernel.name}: granted {alloc.sm_fraction:.3f} SMs "
+                    f"above context limit {limit:.3f}"
+                )
+            if kernel.remaining_work < -1e-9:
+                raise AssertionError(f"{kernel.name}: negative remaining work")
+        if total > 1.0 + 1e-6:
+            raise AssertionError(f"GPU oversubscribed: {total:.4f} SM fractions")
+        for kernel in self._running_compute:
+            if not 0.0 <= kernel.current_rate <= 1.0 + 1e-9:
+                raise AssertionError(
+                    f"{kernel.name}: rate {kernel.current_rate:.4f} out of [0, 1]"
+                )
+
+    def _schedule_next_completion(self) -> None:
+        if self._completion_event is not None:
+            self.cancel(self._completion_event)
+            self._completion_event = None
+        best_time = math.inf
+        for kernel in itertools.chain(self._running_compute, self._running_memcpy):
+            if kernel.current_rate <= 0:
+                continue
+            eta = self.now + kernel.remaining_work / kernel.current_rate
+            if eta < best_time:
+                best_time = eta
+        if math.isfinite(best_time):
+            self._completion_event = self.schedule_at(best_time, self._on_completion_tick)
+
+    def _advance_work(self, to_time: float) -> None:
+        dt = to_time - self._busy_since
+        if dt <= 0:
+            return
+        for kernel in itertools.chain(self._running_compute, self._running_memcpy):
+            kernel.remaining_work = max(0.0, kernel.remaining_work - kernel.current_rate * dt)
+
+    def _finish_epsilon(self, kernel: KernelInstance) -> float:
+        """Work threshold below which a kernel counts as finished.
+
+        Completion times are floats; at large simulated times the
+        residual work after advancing can be ~ulp(now) * rate and would
+        never drain (the next event would round to the same instant).
+        Treat anything the kernel would clear within ~1 ulp of `now`
+        (floored at a picosecond) as done.
+        """
+        time_eps = max(1e-9, 4.0 * math.ulp(self.now))
+        return max(1e-9, kernel.current_rate * time_eps)
+
+    def _on_completion_tick(self) -> None:
+        # Advances work to `now`, accrues utilization, resets _busy_since
+        # so the later _rebalance does not double-count the interval.
+        self._accrue_busy_time()
+        finished = [
+            k
+            for k in itertools.chain(self._running_compute, self._running_memcpy)
+            if k.remaining_work <= self._finish_epsilon(k)
+        ]
+        for kernel in finished:
+            queue = self._queue_of[kernel.uid]
+            if kernel in self._running_compute:
+                self._running_compute.remove(kernel)
+            else:
+                self._running_memcpy.remove(kernel)
+            self._complete_kernel(queue, kernel)
+        self._dispatch()
+        self._rebalance()
+
+    def _complete_kernel(self, queue: DeviceQueue, kernel: KernelInstance) -> None:
+        queue.finish_running(self.now)
+        kernel.remaining_work = 0.0
+        self._queue_of.pop(kernel.uid, None)
+        self._kernels_completed += 1
+        callback = self._per_kernel_callbacks.pop(kernel.uid, None)
+        if callback is not None:
+            callback(kernel)
+        for subscriber in self._finish_subscribers:
+            subscriber(kernel)
+
+    # ------------------------------------------------------------------
+    # Utilization accounting
+    # ------------------------------------------------------------------
+    def _accrue_busy_time(self) -> None:
+        # Advance remaining work to 'now' before rates change.
+        self._advance_work(self.now)
+        dt = self.now - self._busy_since
+        if dt > 0:
+            self._busy_integral += self._current_busy_fraction * dt
+            self._record_segment_end()
+        self._busy_since = self.now
+
+    def _record_segment_start(self) -> None:
+        if not self.record_timeline:
+            return
+        running = {}
+        for kernel in itertools.chain(self._running_compute, self._running_memcpy):
+            running[kernel.uid] = (
+                kernel.app_id,
+                kernel.current_sm_fraction,
+                kernel.current_rate,
+            )
+        self._pending_segment = TimelineSegment(start=self.now, end=self.now, running=running)
+
+    def _record_segment_end(self) -> None:
+        if not self.record_timeline:
+            return
+        segment = getattr(self, "_pending_segment", None)
+        if segment is None or segment.start >= self.now:
+            return
+        segment.end = self.now
+        self.timeline.append(segment)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Average busy-SM fraction over ``[since, now]``."""
+        elapsed = self.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_integral / elapsed)
+
+    @property
+    def busy_sm_time(self) -> float:
+        """Integral of busy SM fraction (SM-fraction x microseconds)."""
+        return self._busy_integral
+
+    @property
+    def kernels_completed(self) -> int:
+        return self._kernels_completed
+
+    @property
+    def has_running_kernels(self) -> bool:
+        return bool(self._running_compute or self._running_memcpy)
+
+    @property
+    def running_kernels(self) -> List[KernelInstance]:
+        return list(itertools.chain(self._running_compute, self._running_memcpy))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event; returns False when nothing is left."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now - 1e-9:
+                raise RuntimeError("event in the past — engine invariant broken")
+            self.now = max(self.now, event.time)
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the event queue drains (or ``until`` is reached)."""
+        events = 0
+        while self._heap:
+            next_time = self._heap[0].time
+            if until is not None and next_time > until:
+                self._accrue_busy_time_at(until)
+                self.now = until
+                return self.now
+            if not self.step():
+                break
+            events += 1
+            if events >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+        self._accrue_busy_time()
+        return self.now
+
+    def _accrue_busy_time_at(self, time: float) -> None:
+        saved = self.now
+        self.now = time
+        self._accrue_busy_time()
+        self.now = saved

@@ -1,0 +1,159 @@
+"""The GPU hardware scheduler: SM allocation among runnable kernels.
+
+Given the compute kernels at the heads of their device queues, the
+hardware scheduler decides how many SMs each occupies.  Two policies
+are provided:
+
+* ``fair`` (default): max-min water-filling — kernels' thread blocks
+  interleave at fine granularity, so equal-priority device queues share
+  SMs fairly over time (the Volta+ behaviour of paper footnote 1).
+  Co-run *cost* is carried by the interference model, not by starvation.
+
+* ``fifo``: strict dispatch order — an earlier kernel occupies up to
+  its full demand (and its context's SM-affinity cap) and later kernels
+  get the leftovers, starving behind wide kernels.  Used for ablations
+  of hardware-dispatch assumptions.
+
+Both respect (a) a kernel never exceeds its own demand ``d%``, and
+(b) the kernels of one context never jointly exceed the context's SM
+affinity limit (MPS semantics).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .kernel import KernelInstance
+from .stream import DeviceQueue
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """SM share granted to one running kernel."""
+
+    kernel: KernelInstance
+    sm_fraction: float
+
+
+def waterfill(demands: Sequence[float], capacity: float) -> List[float]:
+    """Max-min fair split of ``capacity``, never exceeding a demand."""
+    n = len(demands)
+    if n == 0:
+        return []
+    alloc = [0.0] * n
+    remaining = capacity
+    active = list(range(n))
+    while active and remaining > 1e-12:
+        share = remaining / len(active)
+        satisfied = [i for i in active if demands[i] - alloc[i] <= share + 1e-15]
+        if satisfied:
+            done = set(satisfied)
+            for i in satisfied:
+                remaining -= demands[i] - alloc[i]
+                alloc[i] = demands[i]
+            active = [i for i in active if i not in done]
+        else:
+            for i in active:
+                alloc[i] += share
+            remaining = 0.0
+            active = []
+    return alloc
+
+
+class HardwareScheduler:
+    """Allocates SM fractions to the runnable kernels of all queues."""
+
+    def __init__(self, policy: str = "fair"):
+        if policy not in ("fifo", "fair"):
+            raise ValueError(f"unknown hardware policy {policy!r}")
+        self.policy = policy
+
+    def allocate(
+        self,
+        running: Sequence[KernelInstance],
+        queues: Dict[int, DeviceQueue],
+    ) -> List[Allocation]:
+        """Compute the SM share of each running compute kernel.
+
+        ``queues`` maps ``kernel.uid`` to the queue it runs in (to look
+        up the context's SM limit).
+        """
+        if not running:
+            return []
+        if self.policy == "fifo":
+            return self._allocate_fifo(running, queues)
+        return self._allocate_fair(running, queues)
+
+    # ------------------------------------------------------------------
+    def _allocate_fifo(
+        self,
+        running: Sequence[KernelInstance],
+        queues: Dict[int, DeviceQueue],
+    ) -> List[Allocation]:
+        # Blocks dispatch in kernel start order; ties (same dispatch
+        # instant) break by uid, i.e. launch order — the simple fair
+        # round-robin the Volta+ scheduler applies to equal-priority
+        # queues (paper footnote 1).
+        ordered = sorted(
+            running, key=lambda k: (k.start_time if k.start_time is not None else 0.0, k.uid)
+        )
+        free = 1.0
+        context_used: Dict[int, float] = defaultdict(float)
+        allocations = []
+        for kernel in ordered:
+            ctx = queues[kernel.uid].context
+            cap = ctx.sm_limit - context_used[ctx.context_id]
+            grant = max(0.0, min(kernel.spec.sm_demand, cap, free))
+            context_used[ctx.context_id] += grant
+            free -= grant
+            allocations.append(Allocation(kernel=kernel, sm_fraction=grant))
+        return allocations
+
+    def _allocate_fair(
+        self,
+        running: Sequence[KernelInstance],
+        queues: Dict[int, DeviceQueue],
+    ) -> List[Allocation]:
+        by_context: Dict[int, List[KernelInstance]] = defaultdict(list)
+        limits: Dict[int, float] = {}
+        priorities: Dict[int, int] = {}
+        for kernel in running:
+            ctx = queues[kernel.uid].context
+            by_context[ctx.context_id].append(kernel)
+            limits[ctx.context_id] = ctx.sm_limit
+            priorities[ctx.context_id] = ctx.priority
+
+        # Higher-priority contexts (REEF-style real-time clients) are
+        # satisfied first; within a priority level, fair water-filling.
+        allocations: List[Allocation] = []
+        capacity = 1.0
+        for level in sorted(set(priorities.values()), reverse=True):
+            level_cids = [c for c, p in priorities.items() if p == level]
+
+            # Pass 1: split each context's limit among its kernels.
+            per_kernel_want: Dict[int, float] = {}
+            context_want: Dict[int, float] = {}
+            for cid in level_cids:
+                kernels = by_context[cid]
+                fills = waterfill([k.spec.sm_demand for k in kernels], limits[cid])
+                for kernel, fill in zip(kernels, fills):
+                    per_kernel_want[kernel.uid] = fill
+                context_want[cid] = sum(fills)
+
+            # Pass 2: water-fill this level's contexts over what's left.
+            ctx_fills = waterfill(
+                [context_want[c] for c in level_cids], capacity
+            )
+            for cid, fill in zip(level_cids, ctx_fills):
+                want = context_want[cid]
+                scale = fill / want if want > 0 else 0.0
+                for kernel in by_context[cid]:
+                    grant = per_kernel_want[kernel.uid] * scale
+                    capacity -= grant
+                    allocations.append(
+                        Allocation(kernel=kernel, sm_fraction=grant)
+                    )
+            capacity = max(0.0, capacity)
+        return allocations

@@ -1,0 +1,31 @@
+"""PCIe / DMA channel model for memcpy kernels.
+
+H2D and D2H transfers contend for the PCIe link.  We model one
+full-duplex-ish shared channel: concurrent transfers split the link
+bandwidth equally (equal-share processor sharing), which reproduces the
+DMA/PCI-e interference the multi-task scheduler compensates for
+(§4.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .kernel import KernelInstance, KernelKind
+
+
+class PCIeChannel:
+    """Equal-share DMA channel.
+
+    The engine asks for each active transfer's execution rate; with
+    ``n`` concurrent transfers every one proceeds at ``1/n`` of solo
+    speed.
+    """
+
+    def rates(self, transfers: Sequence[KernelInstance]) -> dict:
+        """Map ``kernel.uid -> rate`` for the active memcpy set."""
+        active = [k for k in transfers if k.spec.kind in (KernelKind.H2D, KernelKind.D2H)]
+        if not active:
+            return {}
+        share = 1.0 / len(active)
+        return {k.uid: share for k in active}

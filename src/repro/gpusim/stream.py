@@ -1,0 +1,108 @@
+"""Device queues (streams): FIFO ring buffers bonded to a GPU context.
+
+Kernels in one queue execute strictly in order; kernels in different
+queues may overlap, subject to the hardware scheduler and the SM
+restriction of each queue's context.  This mirrors CUDA streams / MPS
+device queues as described in §3.1 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from .context import GPUContext
+from .kernel import KernelInstance
+
+_queue_counter = itertools.count()
+
+
+@dataclass
+class DeviceQueue:
+    """A FIFO kernel queue bonded to one GPU context."""
+
+    context: GPUContext
+    label: str = ""
+    queue_id: int = field(default_factory=lambda: next(_queue_counter))
+    # Completion time of the most recent kernel in this queue; the next
+    # head becomes dispatchable at last_finish_time + its dispatch gap.
+    last_finish_time: float = float("-inf")
+    _pending: Deque[KernelInstance] = field(default_factory=deque)
+    _running: Optional[KernelInstance] = None
+
+    @property
+    def sm_limit(self) -> float:
+        return self.context.sm_limit
+
+    @property
+    def running(self) -> Optional[KernelInstance]:
+        return self._running
+
+    @property
+    def depth(self) -> int:
+        """Number of kernels buffered (pending + running)."""
+        return len(self._pending) + (1 if self._running is not None else 0)
+
+    @property
+    def empty(self) -> bool:
+        return self.depth == 0
+
+    def push(self, kernel: KernelInstance, now: float) -> None:
+        kernel.enqueue_time = now
+        self._pending.append(kernel)
+
+    def head(self) -> Optional[KernelInstance]:
+        """The kernel eligible to start (None if busy or empty)."""
+        if self._running is not None or not self._pending:
+            return None
+        return self._pending[0]
+
+    def start_head(self, now: float) -> KernelInstance:
+        """Mark the head kernel as running; returns it."""
+        if self._running is not None:
+            raise RuntimeError(f"queue {self.queue_id} already has a running kernel")
+        if not self._pending:
+            raise RuntimeError(f"queue {self.queue_id} is empty")
+        kernel = self._pending.popleft()
+        kernel.start_time = now
+        self._running = kernel
+        return kernel
+
+    def finish_running(self, now: float) -> KernelInstance:
+        """Mark the running kernel complete; returns it."""
+        if self._running is None:
+            raise RuntimeError(f"queue {self.queue_id} has no running kernel")
+        kernel = self._running
+        kernel.finish_time = now
+        self._running = None
+        self.last_finish_time = now
+        return kernel
+
+    def head_ready_at(self) -> Optional[float]:
+        """Earliest time the head kernel may dispatch (None if no head)."""
+        head = self.head()
+        if head is None:
+            return None
+        if self.last_finish_time == float("-inf"):
+            return 0.0
+        return self.last_finish_time + head.spec.dispatch_gap_us
+
+    def drain(self) -> int:
+        """Drop all pending kernels (used on teardown); returns count."""
+        n = len(self._pending)
+        self._pending.clear()
+        return n
+
+    def __hash__(self) -> int:
+        return self.queue_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DeviceQueue) and other.queue_id == self.queue_id
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DeviceQueue(#{self.queue_id} ctx=#{self.context.context_id} "
+            f"depth={self.depth})"
+        )

@@ -1,0 +1,29 @@
+"""Metrics: latency stats, ISO deviation, bubble accounting."""
+
+from .bubbles import BubbleReport, bubbles_from_timeline
+from .deviation import average_deviation_us, latency_deviation_us, speedup_vs_iso
+from .io import (
+    compare_results,
+    load_result,
+    load_results,
+    save_result,
+    save_results,
+)
+from .stats import RequestRecord, ServingResult, qos_violation_rate, summarize
+
+__all__ = [
+    "average_deviation_us",
+    "BubbleReport",
+    "bubbles_from_timeline",
+    "compare_results",
+    "latency_deviation_us",
+    "load_result",
+    "load_results",
+    "qos_violation_rate",
+    "RequestRecord",
+    "save_result",
+    "save_results",
+    "ServingResult",
+    "speedup_vs_iso",
+    "summarize",
+]

@@ -1,0 +1,75 @@
+"""GPU bubble accounting (§1, §3.2).
+
+A *bubble* is GPU capacity left idle while at least one request is in
+flight — exactly the waste BLESS squeezes.  Given an engine timeline we
+integrate ``(1 - busy_fraction)`` over intervals where work was pending,
+and report both absolute bubble time (SM-fraction x µs) and the bubble
+ratio relative to the in-flight window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..gpusim.engine import TimelineSegment
+
+
+@dataclass(frozen=True)
+class BubbleReport:
+    """Bubble accounting over a serving run."""
+
+    inflight_us: float          # total time with >= 1 request in flight
+    busy_integral: float        # SM-fraction x us actually used
+    bubble_integral: float      # SM-fraction x us wasted while in flight
+
+    @property
+    def bubble_ratio(self) -> float:
+        if self.inflight_us <= 0:
+            return 0.0
+        return self.bubble_integral / self.inflight_us
+
+    @property
+    def mean_utilization(self) -> float:
+        if self.inflight_us <= 0:
+            return 0.0
+        return self.busy_integral / self.inflight_us
+
+
+def bubbles_from_timeline(
+    timeline: Sequence[TimelineSegment],
+    inflight_windows: Sequence[Tuple[float, float]],
+) -> BubbleReport:
+    """Integrate bubbles over the parts of ``timeline`` inside windows.
+
+    ``inflight_windows`` are (start, end) intervals during which at
+    least one request was outstanding; idle GPU outside them is not a
+    bubble (nothing to run).
+    """
+    windows = _merge_windows(inflight_windows)
+    busy = 0.0
+    inflight = sum(end - start for start, end in windows)
+    for segment in timeline:
+        for w_start, w_end in windows:
+            lo = max(segment.start, w_start)
+            hi = min(segment.end, w_end)
+            if hi > lo:
+                busy += segment.busy_fraction * (hi - lo)
+    bubble = max(0.0, inflight - busy)
+    return BubbleReport(
+        inflight_us=inflight, busy_integral=busy, bubble_integral=bubble
+    )
+
+
+def _merge_windows(
+    windows: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Merge overlapping (start, end) intervals."""
+    cleaned = sorted((s, e) for s, e in windows if e > s)
+    merged: List[Tuple[float, float]] = []
+    for start, end in cleaned:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged

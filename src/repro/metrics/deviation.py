@@ -1,0 +1,61 @@
+"""Latency deviation vs the quota-isolated (ISO) baseline (§6.2).
+
+For a quota assignment giving application *j* the share ``n_j``, the ISO
+target is ``T_j[n_j]`` — the latency the app achieves alone on an MPS
+partition of that size.  A sharing system's deviation under that
+assignment is::
+
+    deviation = sum_j max(T_sys_j - T_j[n_j], 0)
+
+i.e. only *worse-than-promised* latency counts; beating the promise is
+free.  The *average* latency deviation over many quota assignments
+measures a system's flexibility (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from .stats import ServingResult
+
+
+def latency_deviation_us(
+    result: ServingResult, iso_targets_us: Mapping[str, float]
+) -> float:
+    """Deviation of one run against per-app ISO latency targets."""
+    total = 0.0
+    for app_id, mean in result.per_app_mean_latency().items():
+        target = iso_targets_us.get(app_id)
+        if target is None:
+            raise KeyError(f"no ISO target for app {app_id!r}")
+        total += max(mean - target, 0.0)
+    return total
+
+
+def average_deviation_us(
+    results: Sequence[ServingResult],
+    iso_targets: Sequence[Mapping[str, float]],
+) -> float:
+    """Mean deviation over several (run, target-set) pairs (Fig. 14)."""
+    if len(results) != len(iso_targets):
+        raise ValueError("results and iso_targets must align")
+    if not results:
+        return 0.0
+    values = [
+        latency_deviation_us(result, targets)
+        for result, targets in zip(results, iso_targets)
+    ]
+    return float(np.mean(values))
+
+
+def speedup_vs_iso(
+    result: ServingResult, iso_targets_us: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-app ``iso_latency / achieved_latency`` (>1 means faster)."""
+    speedups = {}
+    for app_id, mean in result.per_app_mean_latency().items():
+        target = iso_targets_us[app_id]
+        speedups[app_id] = target / mean if mean > 0 else float("inf")
+    return speedups

@@ -1,0 +1,100 @@
+"""Serialising serving results to/from JSON.
+
+Lets long sweeps be captured once and re-analysed (or diffed against a
+previous run) without re-simulating.  The format is stable and
+human-readable: one JSON object per :class:`ServingResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .stats import RequestRecord, ServingResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ServingResult) -> Dict:
+    """A JSON-safe representation of a serving result."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "system": result.system,
+        "makespan_us": result.makespan_us,
+        "utilization": result.utilization,
+        "extras": dict(result.extras),
+        "records": [
+            {
+                "app_id": r.app_id,
+                "request_id": r.request_id,
+                "arrival": r.arrival,
+                "finish": r.finish,
+            }
+            for r in result.records
+        ],
+    }
+
+
+def result_from_dict(payload: Dict) -> ServingResult:
+    """Inverse of :func:`result_to_dict` (validates the format)."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version: {version!r}")
+    result = ServingResult(
+        system=payload["system"],
+        makespan_us=float(payload["makespan_us"]),
+        utilization=float(payload["utilization"]),
+        extras={k: float(v) for k, v in payload.get("extras", {}).items()},
+    )
+    for record in payload["records"]:
+        result.add(
+            RequestRecord(
+                app_id=record["app_id"],
+                request_id=int(record["request_id"]),
+                arrival=float(record["arrival"]),
+                finish=float(record["finish"]),
+            )
+        )
+    return result
+
+
+def save_result(result: ServingResult, path: Union[str, Path]) -> None:
+    """Write one result as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: Union[str, Path]) -> ServingResult:
+    """Read one result from JSON."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_results(results: List[ServingResult], path: Union[str, Path]) -> None:
+    """Write several results (e.g. one per system) as a JSON list."""
+    Path(path).write_text(
+        json.dumps([result_to_dict(r) for r in results], indent=2)
+    )
+
+
+def load_results(path: Union[str, Path]) -> List[ServingResult]:
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError("expected a JSON list of results")
+    return [result_from_dict(item) for item in payload]
+
+
+def compare_results(
+    before: ServingResult, after: ServingResult
+) -> Dict[str, float]:
+    """Per-app mean-latency ratios (after / before) plus the overall."""
+    comparison: Dict[str, float] = {}
+    before_means = before.per_app_mean_latency()
+    after_means = after.per_app_mean_latency()
+    for app_id, value in after_means.items():
+        reference = before_means.get(app_id)
+        if reference:
+            comparison[app_id] = value / reference
+    overall_before = before.mean_of_app_means()
+    if overall_before:
+        comparison["__overall__"] = after.mean_of_app_means() / overall_before
+    return comparison

@@ -1,0 +1,126 @@
+"""Latency statistics for serving runs.
+
+The paper's two headline metrics (§6.2):
+
+* **average latency** of requests from different applications under a
+  given quota assignment;
+* **average latency deviation** across quota assignments, where the
+  deviation of one assignment is ``sum_j max(T_sys_j - T_iso_j, 0)``.
+
+This module provides the per-run record keeping; deviation lives in
+:mod:`repro.metrics.deviation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class RequestRecord:
+    """Outcome of one served request."""
+
+    app_id: str
+    request_id: int
+    arrival: float
+    finish: float
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass
+class ServingResult:
+    """Everything measured while a sharing system served a workload."""
+
+    system: str
+    records: List[RequestRecord] = field(default_factory=list)
+    makespan_us: float = 0.0
+    utilization: float = 0.0
+    # Extra system-specific measurements (e.g. squad stats for BLESS).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def app_ids(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.app_id, None)
+        return list(seen)
+
+    def latencies(self, app_id: Optional[str] = None) -> List[float]:
+        return [
+            r.latency
+            for r in self.records
+            if app_id is None or r.app_id == app_id
+        ]
+
+    def mean_latency(self, app_id: Optional[str] = None) -> float:
+        values = self.latencies(app_id)
+        if not values:
+            return math.nan
+        return float(np.mean(values))
+
+    def per_app_mean_latency(self) -> Dict[str, float]:
+        return {app_id: self.mean_latency(app_id) for app_id in self.app_ids}
+
+    def mean_of_app_means(self) -> float:
+        """The paper's 'average latency': mean over apps of per-app means."""
+        per_app = self.per_app_mean_latency()
+        if not per_app:
+            return math.nan
+        return float(np.mean(list(per_app.values())))
+
+    def percentile_latency(self, q: float, app_id: Optional[str] = None) -> float:
+        values = self.latencies(app_id)
+        if not values:
+            return math.nan
+        return float(np.percentile(values, q))
+
+    def throughput_qps(self, app_id: Optional[str] = None) -> float:
+        """Completed requests per second of simulated time."""
+        count = len(self.latencies(app_id))
+        if self.makespan_us <= 0:
+            return 0.0
+        return count / (self.makespan_us / 1e6)
+
+    def count(self, app_id: Optional[str] = None) -> int:
+        return len(self.latencies(app_id))
+
+
+def qos_violation_rate(
+    result: ServingResult, targets_us: Mapping[str, float]
+) -> float:
+    """Fraction of requests whose latency exceeds the app's QoS target."""
+    total = 0
+    violated = 0
+    for record in result.records:
+        target = targets_us.get(record.app_id)
+        if target is None:
+            continue
+        total += 1
+        if record.latency > target:
+            violated += 1
+    if total == 0:
+        return 0.0
+    return violated / total
+
+
+def summarize(results: Sequence[ServingResult]) -> str:
+    """A compact table of per-system average latencies (for harness output)."""
+    lines = []
+    for result in results:
+        per_app = result.per_app_mean_latency()
+        apps = ", ".join(f"{a}={v / 1000:.2f}ms" for a, v in per_app.items())
+        lines.append(
+            f"{result.system:<10} avg={result.mean_of_app_means() / 1000:7.2f}ms "
+            f"util={result.utilization:5.1%}  [{apps}]"
+        )
+    return "\n".join(lines)

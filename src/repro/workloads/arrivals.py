@@ -1,0 +1,178 @@
+"""Request arrival processes for client applications.
+
+The paper's workloads (Table 2) use two arrival styles:
+
+* **closed-loop** (loads A/B/C/E): each application issues its next
+  request a fixed interval after the previous one, but never while the
+  previous request is still in flight;
+* **trace replay** (load D): arrival timestamps come from a recorded
+  trace and do not depend on completions (open loop).
+
+Both are expressed through one small interface so the serving loops in
+``repro.core.runtime`` and ``repro.baselines`` are arrival-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+
+class ArrivalProcess(Protocol):
+    """Produces successive request arrival times for one application."""
+
+    def first_arrival(self) -> Optional[float]:
+        """Arrival time of the first request, or None for no requests."""
+        ...
+
+    def next_arrival(
+        self, prev_arrival: float, prev_completion: float
+    ) -> Optional[float]:
+        """Arrival time of the next request, or None when exhausted."""
+        ...
+
+
+@dataclass
+class ClosedLoop:
+    """Closed-loop arrivals with a fixed think time.
+
+    Request *i+1* arrives at ``completion_i + interval`` — the paper's
+    "interval between requests is set to 1/3, 2/3, 1 of each model's
+    solo-run latency" (closed loop, so a client never has two requests
+    in flight, and a lower interval means a denser load).  The idle gap
+    between a completion and the next arrival is exactly the GPU bubble
+    BLESS exists to squeeze.
+    """
+
+    interval_us: float
+    max_requests: int
+    start_us: float = 0.0
+    # Relative think-time jitter: each gap is interval * U(1-j, 1+j).
+    # A little jitter mirrors real client timing noise and prevents the
+    # artificial phase-locking a deterministic simulator would produce
+    # for identical co-located apps (permanently-synchronised requests
+    # would never leave a bubble at any load level).
+    jitter: float = 0.0
+    seed: int = 0
+    _issued: int = field(default=0, init=False)
+    _rng: object = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval_us < 0:
+            raise ValueError("interval must be non-negative")
+        if self.max_requests < 0:
+            raise ValueError("max_requests must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.jitter > 0.0:
+            import numpy as np
+
+            self._rng = np.random.default_rng(self.seed)
+
+    def _next_interval(self) -> float:
+        if self._rng is None:
+            return self.interval_us
+        return self.interval_us * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))
+
+    def first_arrival(self) -> Optional[float]:
+        if self.max_requests == 0:
+            return None
+        self._issued = 1
+        return self.start_us
+
+    def next_arrival(
+        self, prev_arrival: float, prev_completion: float
+    ) -> Optional[float]:
+        if self._issued >= self.max_requests:
+            return None
+        self._issued += 1
+        return prev_completion + self._next_interval()
+
+
+@dataclass
+class Continuous:
+    """Back-to-back arrivals: the next request arrives at completion.
+
+    Models the fully-saturated case of §6.3 ("all inference requests
+    arrive continuously ... no bubbles that can be utilized").
+    """
+
+    max_requests: int
+    start_us: float = 0.0
+    _issued: int = field(default=0, init=False)
+
+    def first_arrival(self) -> Optional[float]:
+        if self.max_requests == 0:
+            return None
+        self._issued = 1
+        return self.start_us
+
+    def next_arrival(
+        self, prev_arrival: float, prev_completion: float
+    ) -> Optional[float]:
+        if self._issued >= self.max_requests:
+            return None
+        self._issued += 1
+        return prev_completion
+
+
+@dataclass
+class TraceReplay:
+    """Open-loop replay of recorded arrival timestamps."""
+
+    times_us: Sequence[float]
+    _cursor: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        times = list(self.times_us)
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trace timestamps must be non-decreasing")
+        self.times_us = times
+
+    def first_arrival(self) -> Optional[float]:
+        if not self.times_us:
+            return None
+        self._cursor = 1
+        return float(self.times_us[0])
+
+    def next_arrival(
+        self, prev_arrival: float, prev_completion: float
+    ) -> Optional[float]:
+        if self._cursor >= len(self.times_us):
+            return None
+        time = float(self.times_us[self._cursor])
+        self._cursor += 1
+        return time
+
+
+@dataclass
+class OneShot:
+    """Exactly one request at a fixed time (used by squad-level tests)."""
+
+    at_us: float = 0.0
+    _fired: bool = field(default=False, init=False)
+
+    def first_arrival(self) -> Optional[float]:
+        if self._fired:
+            return None
+        self._fired = True
+        return self.at_us
+
+    def next_arrival(
+        self, prev_arrival: float, prev_completion: float
+    ) -> Optional[float]:
+        return None
+
+
+def drain_process(process: ArrivalProcess, service_us: float) -> List[float]:
+    """Materialise a process assuming each request takes ``service_us``.
+
+    Testing helper: runs the closed-loop gating logic against a constant
+    service time and returns the arrival times it would produce.
+    """
+    arrivals: List[float] = []
+    time = process.first_arrival()
+    while time is not None:
+        arrivals.append(time)
+        time = process.next_arrival(time, time + service_us)
+    return arrivals

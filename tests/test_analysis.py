@@ -1,0 +1,142 @@
+"""Tests for the bubble taxonomy and what-if planner."""
+
+import pytest
+
+from repro.analysis import BubbleTaxonomy, WhatIfPlanner, analyze_run, compare_taxonomies
+from repro.apps.models import inference_app
+from repro.baselines.gslice import GSLICESystem
+from repro.core.runtime import BlessRuntime
+from repro.gpusim.engine import TimelineSegment
+from repro.workloads.arrivals import OneShot
+from repro.workloads.suite import WorkloadBinding, bind_load, symmetric_pair
+
+
+def segment(start, end, busy_fraction, app="a"):
+    return TimelineSegment(
+        start=start, end=end, running={1: (app, busy_fraction, 1.0)}
+    )
+
+
+class TestTaxonomy:
+    def test_fully_busy_run(self):
+        timeline = [segment(0, 100, 1.0)]
+        taxonomy = analyze_run(timeline, [(0, 100)], horizon_us=100)
+        assert taxonomy.busy == pytest.approx(100.0)
+        assert taxonomy.total_bubble == pytest.approx(0.0)
+        assert taxonomy.vacant == pytest.approx(0.0)
+
+    def test_intra_request_bubble(self):
+        """Half-wide kernel running while a request is in flight."""
+        timeline = [segment(0, 100, 0.5)]
+        taxonomy = analyze_run(timeline, [(0, 100)], horizon_us=100)
+        assert taxonomy.intra_request_bubble == pytest.approx(50.0)
+        assert taxonomy.inter_request_bubble == pytest.approx(0.0)
+
+    def test_inter_request_bubble(self):
+        """GPU wholly idle mid-flight (e.g. a dispatch gap)."""
+        timeline = [segment(0, 40, 1.0), segment(60, 100, 1.0)]
+        taxonomy = analyze_run(timeline, [(0, 100)], horizon_us=100)
+        assert taxonomy.inter_request_bubble == pytest.approx(20.0)
+        assert taxonomy.busy == pytest.approx(80.0)
+
+    def test_vacant_time_not_a_bubble(self):
+        timeline = [segment(0, 50, 1.0)]
+        taxonomy = analyze_run(timeline, [(0, 50)], horizon_us=200)
+        assert taxonomy.vacant == pytest.approx(150.0)
+        assert taxonomy.total_bubble == pytest.approx(0.0)
+        assert taxonomy.bubble_ratio == pytest.approx(0.0)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            analyze_run([], [], horizon_us=0.0)
+
+    def test_render_and_compare(self):
+        taxonomy = BubbleTaxonomy(100.0, 60.0, 20.0, 10.0, 10.0)
+        assert "bubble ratio" in taxonomy.render()
+        lines = compare_taxonomies({"X": taxonomy})
+        assert any("X" in line for line in lines)
+
+    def test_real_run_accounting_closes(self):
+        """busy + bubbles + vacant ≈ horizon for a genuine run."""
+        apps = symmetric_pair("VGG")
+        system = GSLICESystem(record_timeline=True)
+        system.serve(
+            [WorkloadBinding(app=a, process_factory=OneShot) for a in apps]
+        )
+        horizon = system.engine.now
+        taxonomy = analyze_run(
+            system.engine.timeline, system.inflight_windows, horizon
+        )
+        accounted = (
+            taxonomy.busy + taxonomy.total_bubble + taxonomy.vacant
+        )
+        assert accounted == pytest.approx(horizon, rel=0.05)
+
+    def test_bless_squeezes_more_than_gslice(self):
+        """BLESS's bubble ratio is lower on the same workload."""
+        ratios = {}
+        for name, system in (
+            ("GSLICE", GSLICESystem(record_timeline=True)),
+            ("BLESS", BlessRuntime(record_timeline=True)),
+        ):
+            apps = symmetric_pair("R50")
+            system.serve(bind_load(apps, "C", requests=4))
+            taxonomy = analyze_run(
+                system.engine.timeline,
+                system.inflight_windows,
+                system.engine.now,
+            )
+            ratios[name] = taxonomy.bubble_ratio
+        assert ratios["BLESS"] < ratios["GSLICE"]
+
+
+class TestWhatIfPlanner:
+    @pytest.fixture(scope="class")
+    def planner(self):
+        return WhatIfPlanner()
+
+    def test_iso_surface_monotone(self, planner):
+        surface = planner.iso_surface(inference_app("R50"))
+        values = [surface[p] for p in sorted(surface)]
+        assert values == sorted(values, reverse=True)
+
+    def test_min_quota_for_budget(self, planner):
+        app = inference_app("R50")
+        generous = planner.min_quota_for_budget(app, 100_000.0)
+        tight = planner.min_quota_for_budget(app, 11_000.0)
+        assert generous < tight
+        assert planner.min_quota_for_budget(app, 1_000.0) is None
+
+    def test_feasible_plans_partition_fully(self, planner):
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="a"),
+            inference_app("VGG").with_quota(0.5, app_id="b"),
+        ]
+        plans = planner.feasible_plans(apps, [20_000.0, 25_000.0])
+        assert plans
+        for plan in plans:
+            assert sum(plan.quotas) == pytest.approx(1.0)
+            for latency, budget in zip(plan.predicted_latency_us, (20_000.0, 25_000.0)):
+                assert latency <= budget
+
+    def test_infeasible_budgets_yield_nothing(self, planner):
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="a"),
+            inference_app("R50").with_quota(0.5, app_id="b"),
+        ]
+        # Both demanding near-solo latency: cannot both hold it.
+        assert planner.feasible_plans(apps, [9_000.0, 9_000.0]) == []
+
+    def test_cheapest_plan_minimises_peak_quota(self, planner):
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="a"),
+            inference_app("VGG").with_quota(0.5, app_id="b"),
+        ]
+        plan = planner.cheapest_plan(apps, [25_000.0, 30_000.0])
+        assert plan is not None
+        assert max(plan.quotas) < 1.0
+        assert "ms" in plan.render(["a", "b"])
+
+    def test_misaligned_inputs_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.feasible_plans([inference_app("VGG")], [])

@@ -1,0 +1,189 @@
+"""Unit tests for the application substrate: DAGs, models, requests."""
+
+import pytest
+
+from repro.apps.application import Application, AppKind, Request
+from repro.apps.dag import CycleError, OperatorDAG
+from repro.apps.models import (
+    MODEL_NAMES,
+    all_inference_apps,
+    all_training_apps,
+    build_model_dag,
+    inference_app,
+    microbenchmark_kernel,
+    table1_expectation,
+    training_app,
+)
+from repro.gpusim.kernel import KernelKind, KernelSpec
+
+
+def spec(name="k", dur=10.0):
+    return KernelSpec(name=name, base_duration_us=dur, sm_demand=0.5)
+
+
+class TestOperatorDAG:
+    def test_chain_linearisation(self):
+        dag = OperatorDAG()
+        dag.add_op("a", [spec("k1")])
+        dag.add_op("b", [spec("k2")], deps=["a"])
+        dag.add_op("c", [spec("k3")], deps=["b"])
+        assert [k.name for k in dag.kernel_sequence()] == ["k1", "k2", "k3"]
+
+    def test_branch_respects_dependencies(self):
+        dag = OperatorDAG()
+        dag.add_op("root", [spec("r")])
+        dag.add_op("left", [spec("l")], deps=["root"])
+        dag.add_op("right", [spec("x")], deps=["root"])
+        dag.add_op("join", [spec("j")], deps=["left", "right"])
+        names = [k.name for k in dag.kernel_sequence()]
+        assert names.index("r") < names.index("l")
+        assert names.index("l") < names.index("j")
+        assert names.index("x") < names.index("j")
+
+    def test_duplicate_operator_rejected(self):
+        dag = OperatorDAG()
+        dag.add_op("a")
+        with pytest.raises(ValueError):
+            dag.add_op("a")
+
+    def test_unknown_dependency_rejected(self):
+        dag = OperatorDAG()
+        with pytest.raises(ValueError):
+            dag.add_op("b", deps=["missing"])
+
+    def test_cycle_detection(self):
+        # Cycles cannot be built through add_op (deps must pre-exist),
+        # so forge one directly.
+        dag = OperatorDAG()
+        dag.add_op("a")
+        dag.add_op("b", deps=["a"])
+        dag.operator("a").deps.append("b")
+        with pytest.raises(CycleError):
+            dag.topological_order()
+
+    def test_deterministic_tie_break(self):
+        dag = OperatorDAG()
+        dag.add_op("z", [spec("kz")])
+        dag.add_op("a", [spec("ka")])
+        # Insertion order, not name order.
+        assert [k.name for k in dag.kernel_sequence()] == ["kz", "ka"]
+
+    def test_contains_and_len(self):
+        dag = OperatorDAG()
+        dag.add_op("a")
+        assert "a" in dag and len(dag) == 1
+
+
+class TestModelTraces:
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_inference_matches_table1(self, model):
+        app = inference_app(model)
+        expected_ms, expected_kernels = table1_expectation(model, "inference")
+        assert app.num_compute_kernels == expected_kernels
+        assert app.solo_span_us / 1000.0 == pytest.approx(expected_ms, rel=1e-6)
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_training_matches_table1(self, model):
+        app = training_app(model)
+        expected_ms, expected_kernels = table1_expectation(model, "training")
+        assert app.num_compute_kernels == expected_kernels
+        assert app.solo_span_us / 1000.0 == pytest.approx(expected_ms, rel=1e-6)
+
+    def test_traces_are_deterministic(self):
+        a = build_model_dag("R50").kernel_sequence()
+        b = build_model_dag("R50").kernel_sequence()
+        assert [k.base_duration_us for k in a] == [k.base_duration_us for k in b]
+
+    def test_apps_are_cached(self):
+        assert inference_app("VGG") is inference_app("VGG")
+
+    def test_kernel_duration_envelope(self):
+        """The paper: kernel durations from 3us to 3ms."""
+        for app in all_inference_apps() + all_training_apps():
+            for kernel in app.kernels:
+                if kernel.is_compute:
+                    assert 2.9 <= kernel.base_duration_us <= 3000.1
+
+    def test_gap_budget_matches_utilization(self):
+        """Fig. 1: VGG ~81%, R50 ~86% solo GPU utilization."""
+        for model, target in (("VGG", 0.81), ("R50", 0.86)):
+            app = inference_app(model)
+            utilization = app.total_compute_us / app.solo_span_us
+            assert utilization == pytest.approx(target, abs=0.01)
+
+    def test_includes_h2d_and_d2h(self):
+        kinds = [k.kind for k in inference_app("R50").kernels]
+        assert kinds[0] == KernelKind.H2D
+        assert kinds[-1] == KernelKind.D2H
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model_dag("GPT5")
+
+    def test_microbenchmark_kernel(self):
+        k = microbenchmark_kernel(duration_us=50.0, sm_demand=0.3, mem_intensity=0.9)
+        assert k.base_duration_us == 50.0
+        assert k.mem_intensity == 0.9
+
+    def test_nas_dag_has_branches(self):
+        dag = build_model_dag("NAS")
+        assert any("-a" in op.name for op in dag.topological_order())
+
+
+class TestApplication:
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            Application("a", AppKind.INFERENCE, [spec()], memory_mb=10, quota=0.0)
+
+    def test_empty_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            Application("a", AppKind.INFERENCE, [], memory_mb=10)
+
+    def test_with_quota_copies(self):
+        app = inference_app("VGG")
+        copy = app.with_quota(0.25, app_id="vgg#1")
+        assert copy.quota == 0.25
+        assert copy.app_id == "vgg#1"
+        assert app.quota == 1.0  # original untouched
+        assert copy.kernels is app.kernels
+
+    def test_mean_kernel_duration_in_paper_band(self):
+        """§4.2.2: average kernel duration 10us..300us."""
+        for app in all_inference_apps():
+            assert 10.0 <= app.mean_kernel_duration() <= 300.0
+
+    def test_solo_span_components(self):
+        app = inference_app("R50")
+        assert app.solo_span_us == pytest.approx(
+            app.total_compute_us + app.total_gap_us
+        )
+
+
+class TestRequest:
+    def test_kernel_instantiation(self):
+        app = inference_app("VGG").with_quota(0.5, app_id="v1")
+        request = Request(app=app, arrival_time=100.0)
+        kernel = request.make_kernel(0)
+        assert kernel.app_id == "v1"
+        assert kernel.seq == 0
+        assert kernel.request_id == request.request_id
+
+    def test_latency_requires_completion(self):
+        request = Request(app=inference_app("VGG"), arrival_time=0.0)
+        with pytest.raises(RuntimeError):
+            _ = request.latency
+        request.finish_time = 42.0
+        assert request.latency == 42.0
+
+    def test_all_scheduled_tracking(self):
+        app = inference_app("VGG")
+        request = Request(app=app, arrival_time=0.0)
+        assert not request.all_scheduled
+        request.next_kernel = request.total_kernels
+        assert request.all_scheduled
+        assert request.remaining_specs() == []
+
+    def test_unique_request_ids(self):
+        app = inference_app("VGG")
+        a, b = Request(app=app, arrival_time=0.0), Request(app=app, arrival_time=0.0)
+        assert a.request_id != b.request_id

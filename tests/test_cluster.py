@@ -1,0 +1,124 @@
+"""Tests for the multi-GPU placement controller (§4.2.2 extension)."""
+
+import pytest
+
+from repro.apps.application import Application, AppKind
+from repro.apps.models import inference_app
+from repro.baselines.gslice import GSLICESystem
+from repro.cluster import (
+    ClusterController,
+    ClusterPlacer,
+    PlacementError,
+    PlacementPolicy,
+)
+from repro.gpusim.device import GPUSpec
+from repro.gpusim.kernel import KernelSpec
+from repro.workloads.suite import bind_load
+
+
+def app(app_id, quota, memory_mb=800, model="R50"):
+    return inference_app(model).with_quota(quota, app_id=app_id)
+
+
+class TestPlacer:
+    def test_single_app_placed(self):
+        placer = ClusterPlacer(num_gpus=2)
+        slot = placer.place(app("a", 0.5))
+        assert slot.quota_used == pytest.approx(0.5)
+
+    def test_quota_overflow_spills_to_next_gpu(self):
+        placer = ClusterPlacer(num_gpus=2, policy=PlacementPolicy.FIRST_FIT)
+        placer.place(app("a", 0.7))
+        slot = placer.place(app("b", 0.7))
+        assert slot.index == 1
+
+    def test_best_fit_packs_tightly(self):
+        placer = ClusterPlacer(num_gpus=2, policy=PlacementPolicy.BEST_FIT)
+        placer.place(app("a", 0.6))
+        placer.place(app("b", 0.2))
+        # Best fit co-locates b with a (0.4 headroom beats 1.0).
+        assert placer.slots[0].quota_used == pytest.approx(0.8)
+        assert placer.slots[1].quota_used == 0.0
+
+    def test_worst_fit_balances(self):
+        placer = ClusterPlacer(num_gpus=2, policy=PlacementPolicy.WORST_FIT)
+        placer.place(app("a", 0.5))
+        placer.place(app("b", 0.5))
+        assert placer.slots[0].quota_used == pytest.approx(0.5)
+        assert placer.slots[1].quota_used == pytest.approx(0.5)
+
+    def test_memory_constraint_respected(self):
+        small_gpu = GPUSpec(memory_mb=3_000)
+        placer = ClusterPlacer(num_gpus=1, gpu_spec=small_gpu)
+        placer.place(app("a", 0.3))  # ~800MB + contexts
+        with pytest.raises(PlacementError):
+            placer.place(app("b", 0.3, model="NAS"))  # 1700MB won't fit
+
+    def test_kernel_compatibility_respected(self):
+        """An app with pathologically long kernels cannot co-locate."""
+        monster = Application(
+            name="monster",
+            kind=AppKind.INFERENCE,
+            kernels=[
+                KernelSpec(name=f"m{i}", base_duration_us=50_000.0, sm_demand=0.9)
+                for i in range(4)
+            ],
+            memory_mb=500,
+            quota=0.3,
+            app_id="monster",
+        )
+        placer = ClusterPlacer(num_gpus=2, policy=PlacementPolicy.FIRST_FIT)
+        placer.place(app("a", 0.3))
+        slot = placer.place(monster)
+        assert slot.index == 1  # spilled away from the short-kernel app
+
+    def test_place_all_and_summary(self):
+        placer = ClusterPlacer(num_gpus=2)
+        placements = placer.place_all(
+            [app("a", 0.6), app("b", 0.6), app("c", 0.3)]
+        )
+        assert sum(len(apps) for apps in placements.values()) == 3
+        summary = placer.utilization_summary()
+        assert "GPU0" in summary and "GPU1" in summary
+
+    def test_no_gpu_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterPlacer(num_gpus=0)
+
+
+class TestController:
+    def test_cluster_serves_all_apps(self):
+        apps = [app("a", 0.6), app("b", 0.6), app("c", 0.4)]
+        controller = ClusterController(num_gpus=2)
+        result = controller.serve(bind_load(apps, "C", requests=3))
+        assert result.merged.count() == 9
+        assert len(result.per_gpu) == 2
+        assert sum(len(v) for v in result.placements.values()) == 3
+
+    def test_cluster_with_alternate_system(self):
+        apps = [app("a", 0.5), app("b", 0.5)]
+        controller = ClusterController(num_gpus=1, system_factory=GSLICESystem)
+        result = controller.serve(bind_load(apps, "C", requests=2))
+        assert result.merged.count() == 4
+        assert "GSLICE" in result.merged.system
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterController(num_gpus=1).serve([])
+
+    def test_duplicate_ids_rejected(self):
+        a = app("a", 0.4)
+        bindings = bind_load([a, a], "C", requests=1)
+        with pytest.raises(ValueError):
+            ClusterController(num_gpus=2).serve(bindings)
+
+    def test_isolated_gpus_match_single_gpu_latency(self):
+        """Two apps on two GPUs behave like two solo deployments."""
+        apps = [app("a", 1.0), app("b", 1.0)]
+        controller = ClusterController(
+            num_gpus=2, policy=PlacementPolicy.WORST_FIT
+        )
+        result = controller.serve(bind_load(apps, "C", requests=3))
+        solo = inference_app("R50").solo_span_us
+        for app_id in ("a", "b"):
+            assert result.merged.mean_latency(app_id) < 1.1 * solo

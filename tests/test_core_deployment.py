@@ -1,0 +1,103 @@
+"""Tests for deployment admission checks (§4.2.2)."""
+
+import pytest
+
+from repro.apps.application import Application, AppKind
+from repro.apps.models import all_inference_apps, inference_app
+from repro.core.deployment import (
+    MAX_DURATION_DISPARITY,
+    AdmissionReport,
+    check_admission,
+)
+from repro.gpusim.device import GPUSpec
+from repro.gpusim.kernel import KernelSpec
+
+
+def custom_app(name, durations, memory_mb=100):
+    kernels = [
+        KernelSpec(name=f"{name}-{i}", base_duration_us=d, sm_demand=0.5)
+        for i, d in enumerate(durations)
+    ]
+    return Application(
+        name=name, kind=AppKind.INFERENCE, kernels=kernels,
+        memory_mb=memory_mb, quota=0.4, app_id=name,
+    )
+
+
+class TestMemoryAdmission:
+    def test_fitting_pair_accepted(self):
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="a"),
+            inference_app("VGG").with_quota(0.5, app_id="b"),
+        ]
+        report = check_admission(apps)
+        assert report.accepted
+        assert not report.errors
+
+    def test_memory_oversubscription_rejected(self):
+        apps = [
+            custom_app(f"big{i}", [100.0] * 10, memory_mb=6000).with_quota(
+                0.1, app_id=f"big{i}"
+            )
+            for i in range(8)  # 48GB > 40GB
+        ]
+        report = check_admission(apps)
+        assert not report.accepted
+        assert any("memory" in e for e in report.errors)
+
+    def test_mps_context_memory_counted(self):
+        app = custom_app("a", [100.0] * 10, memory_mb=40 * 1024 - 100)
+        report = check_admission([app.with_quota(1.0)])
+        assert not report.accepted
+
+    def test_custom_gpu_spec(self):
+        app = custom_app("a", [100.0] * 10, memory_mb=20_000)
+        small_gpu = GPUSpec(memory_mb=10_000)
+        assert not check_admission([app], gpu_spec=small_gpu).accepted
+        assert check_admission([app]).accepted  # fits the default A100
+
+
+class TestQuotaAdmission:
+    def test_oversubscribed_quotas_rejected(self):
+        apps = [
+            custom_app("a", [100.0] * 10).with_quota(0.7, app_id="a"),
+            custom_app("b", [100.0] * 10).with_quota(0.7, app_id="b"),
+        ]
+        report = check_admission(apps)
+        assert not report.accepted
+        assert any("quota" in e for e in report.errors)
+
+
+class TestKernelCompatibility:
+    def test_all_paper_models_co_deployable(self):
+        apps = [
+            app.with_quota(0.2, app_id=f"{app.name}#{i}")
+            for i, app in enumerate(all_inference_apps())
+        ]
+        # Large memory total, so only check the duration rules here.
+        report = check_admission(apps)
+        assert not any("starve" in e for e in report.errors)
+
+    def test_extreme_disparity_rejected(self):
+        short = custom_app("short", [10.0] * 50)
+        long = custom_app("long", [10.0 * MAX_DURATION_DISPARITY * 2] * 5)
+        report = check_admission(
+            [short.with_quota(0.4, app_id="s"), long.with_quota(0.4, app_id="l")]
+        )
+        assert not report.accepted
+        assert any("starve" in e for e in report.errors)
+
+    def test_out_of_band_mean_warns(self):
+        tiny = custom_app("tiny", [4.0] * 50)
+        report = check_admission([tiny])
+        assert report.warnings  # mean kernel duration below 10us band
+
+    def test_empty_deployment_rejected(self):
+        report = check_admission([])
+        assert not report.accepted
+
+
+class TestReportType:
+    def test_report_structure(self):
+        report = AdmissionReport(accepted=True)
+        assert report.errors == [] and report.warnings == []

@@ -1,0 +1,203 @@
+"""Tests for the concurrent kernel manager (§4.5)."""
+
+import pytest
+
+from repro.apps.application import Application, AppKind, Request
+from repro.core.config import BlessConfig
+from repro.core.configurator import ExecutionConfig
+from repro.core.kernel_manager import ConcurrentKernelManager
+from repro.core.squad import KernelSquad, SquadEntry
+from repro.gpusim.context import ContextRegistry
+from repro.gpusim.device import GPUDevice
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.kernel import KernelSpec
+
+
+def toy_app(app_id, n=4, dur=100.0, demand=0.9):
+    kernels = [
+        KernelSpec(name=f"{app_id}-{i}", base_duration_us=dur, sm_demand=demand,
+                   mem_intensity=0.3)
+        for i in range(n)
+    ]
+    return Application(name=app_id, kind=AppKind.INFERENCE, kernels=kernels,
+                       memory_mb=10, quota=0.5, app_id=app_id)
+
+
+def make_manager(config=None):
+    engine = SimEngine(device=GPUDevice())
+    registry = ContextRegistry(engine.device)
+    manager = ConcurrentKernelManager(engine, registry, config or BlessConfig())
+    return engine, registry, manager
+
+
+def squad_for(apps, counts=None):
+    squad = KernelSquad()
+    for app in apps:
+        count = counts.get(app.app_id) if counts else len(app.kernels)
+        request = Request(app=app, arrival_time=0.0)
+        squad.entries[app.app_id] = SquadEntry(
+            request=request, kernel_indices=list(range(count))
+        )
+    return squad
+
+
+class TestClientRegistration:
+    def test_default_queue_created(self):
+        _, _, manager = make_manager()
+        manager.register_client("a")
+        queue = manager.default_queue("a")
+        assert queue.context.sm_limit == 1.0
+
+    def test_duplicate_registration_rejected(self):
+        _, _, manager = make_manager()
+        manager.register_client("a")
+        with pytest.raises(ValueError):
+            manager.register_client("a")
+
+    def test_restricted_queue_cached_and_charged(self):
+        engine, _, manager = make_manager()
+        manager.register_client("a")
+        before = engine.device.memory.free_mb
+        q1 = manager.restricted_queue("a", 9)
+        q2 = manager.restricted_queue("a", 9)
+        assert q1 is q2
+        assert engine.device.memory.free_mb == before - engine.device.spec.mps_context_mb
+        assert q1.context.sm_limit == pytest.approx(0.5)
+
+
+class TestSquadExecution:
+    def test_nsp_runs_all_kernels(self):
+        engine, _, manager = make_manager()
+        a, b = toy_app("a"), toy_app("b")
+        for app_id in ("a", "b"):
+            manager.register_client(app_id)
+        done = []
+        finished = []
+        manager.execute_squad(
+            squad_for([a, b]),
+            ExecutionConfig(partitions=None, predicted_duration_us=0.0),
+            on_kernel_finish=done.append,
+            on_done=finished.append,
+        )
+        engine.run()
+        assert len(done) == 8
+        assert len(finished) == 1
+        assert finished[0].duration_us > 0
+
+    def test_sp_uses_restricted_queues(self):
+        config = BlessConfig(split_ratio=1.0, semi_sp_mode="static")
+        engine, _, manager = make_manager(config)
+        a, b = toy_app("a"), toy_app("b")
+        manager.register_client("a")
+        manager.register_client("b")
+        manager.execute_squad(
+            squad_for([a, b]),
+            ExecutionConfig(partitions={"a": 9, "b": 9}, predicted_duration_us=0.0),
+            on_kernel_finish=lambda k: None,
+            on_done=lambda ex: None,
+        )
+        engine.run()
+        assert ("a", 9) in manager._restricted_queue
+        assert ("b", 9) in manager._restricted_queue
+        assert manager.default_queue("a").empty  # nothing went unrestricted
+
+    def test_semi_sp_splits_front_and_rear(self):
+        config = BlessConfig(split_ratio=0.5, semi_sp_mode="static")
+        engine, _, manager = make_manager(config)
+        a, b = toy_app("a"), toy_app("b")
+        manager.register_client("a")
+        manager.register_client("b")
+        done = []
+        manager.execute_squad(
+            squad_for([a, b]),
+            ExecutionConfig(partitions={"a": 9, "b": 9}, predicted_duration_us=0.0),
+            on_kernel_finish=done.append,
+            on_done=lambda ex: None,
+        )
+        engine.run()
+        assert len(done) == 8
+        assert manager.context_switches == 2  # one per client
+
+    def test_adaptive_rear_counts_respected(self):
+        engine, _, manager = make_manager()
+        a, b = toy_app("a", n=4), toy_app("b", n=2)
+        manager.register_client("a")
+        manager.register_client("b")
+        done = []
+        manager.execute_squad(
+            squad_for([a, b]),
+            ExecutionConfig(
+                partitions={"a": 9, "b": 9},
+                predicted_duration_us=0.0,
+                rear_counts={"a": 2, "b": 0},
+            ),
+            on_kernel_finish=done.append,
+            on_done=lambda ex: None,
+        )
+        engine.run()
+        assert len(done) == 6
+        assert manager.context_switches == 1  # only client a switched
+
+    def test_squad_duration_reported(self):
+        engine, _, manager = make_manager()
+        a = toy_app("a", n=2, dur=50.0)
+        manager.register_client("a")
+        holder = []
+        manager.execute_squad(
+            squad_for([a]),
+            ExecutionConfig(partitions=None, predicted_duration_us=0.0),
+            on_kernel_finish=lambda k: None,
+            on_done=holder.append,
+        )
+        engine.run()
+        # Two 50us kernels serial plus launch overhead.
+        assert holder[0].duration_us == pytest.approx(103.0, rel=0.01)
+
+    def test_kernel_order_preserved_within_request(self):
+        engine, _, manager = make_manager()
+        a = toy_app("a", n=5, dur=10.0)
+        manager.register_client("a")
+        order = []
+        manager.execute_squad(
+            squad_for([a]),
+            ExecutionConfig(partitions=None, predicted_duration_us=0.0),
+            on_kernel_finish=lambda k: order.append(k.seq),
+            on_done=lambda ex: None,
+        )
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_rear_expands_when_corunner_drains(self):
+        """Semi-SP's point: the rear of the longer request speeds up
+        once the co-runner's partition falls idle."""
+        config = BlessConfig(split_ratio=0.5, semi_sp_mode="static")
+        engine, _, manager = make_manager(config)
+        long = toy_app("long", n=8, dur=100.0, demand=1.0)
+        short = toy_app("short", n=2, dur=50.0, demand=1.0)
+        manager.register_client("long")
+        manager.register_client("short")
+        holder = []
+        manager.execute_squad(
+            squad_for([long, short]),
+            ExecutionConfig(partitions={"long": 9, "short": 9}, predicted_duration_us=0.0),
+            on_kernel_finish=lambda k: None,
+            on_done=holder.append,
+        )
+        engine.run()
+        semi_duration = holder[0].duration_us
+
+        # Pure SP for comparison.
+        engine2, _, manager2 = make_manager(
+            BlessConfig(split_ratio=1.0, semi_sp_mode="static")
+        )
+        manager2.register_client("long")
+        manager2.register_client("short")
+        holder2 = []
+        manager2.execute_squad(
+            squad_for([long, short]),
+            ExecutionConfig(partitions={"long": 9, "short": 9}, predicted_duration_us=0.0),
+            on_kernel_finish=lambda k: None,
+            on_done=holder2.append,
+        )
+        engine2.run()
+        assert semi_duration < holder2[0].duration_us

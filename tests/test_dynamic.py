@@ -1,0 +1,128 @@
+"""Tests for the dynamic-application (LLM) extension of §6.10."""
+
+import pytest
+
+from repro.baselines.gslice import GSLICESystem
+from repro.core.runtime import BlessRuntime
+from repro.dynamic import (
+    DynamicLLMApp,
+    LLMRequest,
+    LLMSpec,
+    route_requests,
+    synthesize_requests,
+    variant_mix,
+)
+
+
+@pytest.fixture(scope="module")
+def llm():
+    return DynamicLLMApp(spec=LLMSpec(), quota=0.5)
+
+
+class TestVariants:
+    def test_variant_menu(self, llm):
+        assert len(llm.variants) == len(llm.prefill_buckets) + 1
+        assert llm.decode_variant in llm.variants
+
+    def test_prefill_cost_grows_with_bucket(self, llm):
+        spans = [
+            llm.variants[f"{llm.spec.name}/prefill-{b}"].solo_span_us
+            for b in llm.prefill_buckets
+        ]
+        assert spans == sorted(spans)
+
+    def test_attention_grows_superlinearly(self, llm):
+        small = llm.variants[f"{llm.spec.name}/prefill-64"].solo_span_us
+        large = llm.variants[f"{llm.spec.name}/prefill-512"].solo_span_us
+        assert large > 8 * small  # 8x tokens, quadratic attention term
+
+    def test_bucketing(self, llm):
+        assert llm.bucket_for(10).endswith("prefill-64")
+        assert llm.bucket_for(64).endswith("prefill-64")
+        assert llm.bucket_for(65).endswith("prefill-128")
+        assert llm.bucket_for(9999).endswith("prefill-512")
+        with pytest.raises(ValueError):
+            llm.bucket_for(0)
+
+    def test_decode_variant_is_narrow_and_memory_bound(self, llm):
+        decode = llm.variants[llm.decode_variant]
+        compute = [k for k in decode.kernels if k.is_compute]
+        assert all(k.sm_demand <= 0.4 for k in compute)
+        assert all(k.mem_intensity >= 0.6 for k in compute)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicLLMApp(spec=LLMSpec(), quota=0.5, prefill_buckets=())
+
+
+class TestRequestStream:
+    def test_synthesis_deterministic(self):
+        a = synthesize_requests(20, 10_000.0, seed=3)
+        b = synthesize_requests(20, 10_000.0, seed=3)
+        assert a == b
+
+    def test_shapes_within_ranges(self):
+        requests = synthesize_requests(
+            50, 5_000.0, seed=1, prompt_range=(16, 256), decode_range=(4, 8)
+        )
+        for request in requests:
+            assert 16 <= request.prompt_len <= 256
+            assert 4 <= request.decode_steps <= 8
+        arrivals = [r.arrival_us for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(ValueError):
+            LLMRequest(0.0, 0, 4)
+
+
+class TestRouting:
+    def test_routing_covers_all_invocations(self, llm):
+        requests = synthesize_requests(15, 20_000.0, seed=5)
+        bindings = route_requests(llm, requests)
+        mix = variant_mix(requests, llm)
+        routed_counts = {}
+        for binding in bindings:
+            process = binding.fresh_process()
+            count = 0
+            time = process.first_arrival()
+            while time is not None:
+                count += 1
+                time = process.next_arrival(time, time)
+            routed_counts[binding.app.app_id] = count
+        assert routed_counts == mix
+
+    def test_decode_chunks_ceil(self, llm):
+        requests = [LLMRequest(0.0, 32, llm.decode_chunk + 1)]
+        mix = variant_mix(requests, llm)
+        assert mix[llm.decode_variant] == 2
+
+    def test_end_to_end_serving(self, llm):
+        """The routed variants serve under BLESS like ordinary apps,
+        and beat static partitioning at this moderate load."""
+        requests = synthesize_requests(10, 60_000.0, seed=9,
+                                       prompt_range=(16, 256),
+                                       decode_range=(4, 16))
+        bless = BlessRuntime().serve(route_requests(llm, requests))
+        gslice_quota = 1.0 / len(route_requests(llm, requests))
+        assert bless.count() >= len(requests)
+        assert all(r.latency > 0 for r in bless.records)
+
+    def test_bless_vs_gslice_on_llm_mix(self, llm):
+        requests = synthesize_requests(8, 80_000.0, seed=11)
+        bindings = route_requests(llm, requests)
+        # Give GSLICE even quotas over the active variants.
+        even = 1.0 / len(bindings)
+        gslice_bindings = [
+            type(b)(app=b.app.with_quota(even, app_id=b.app.app_id),
+                    process_factory=b.process_factory)
+            for b in bindings
+        ]
+        bless_bindings = [
+            type(b)(app=b.app.with_quota(even, app_id=b.app.app_id),
+                    process_factory=b.process_factory)
+            for b in bindings
+        ]
+        gslice = GSLICESystem().serve(gslice_bindings)
+        bless = BlessRuntime().serve(bless_bindings)
+        assert bless.mean_of_app_means() < gslice.mean_of_app_means()

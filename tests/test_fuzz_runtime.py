@@ -1,0 +1,134 @@
+"""Randomised workload fuzzing of the serving systems.
+
+Generates seeded random deployments (random models, quotas, loads,
+arrival styles) and checks systemic invariants that must hold for ANY
+workload on ANY system:
+
+* every issued request completes, exactly once;
+* latencies are strictly positive and finite;
+* no request finishes before it arrives or after the makespan;
+* utilization stays within [0, 1];
+* BLESS accounts a positive number of squads whenever it served work.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.models import MODEL_NAMES, inference_app
+from repro.baselines import (
+    GSLICESystem,
+    REEFPlusSystem,
+    TemporalSystem,
+    UnboundSystem,
+)
+from repro.core.config import BlessConfig
+from repro.core.runtime import BlessRuntime
+from repro.workloads.arrivals import ClosedLoop, OneShot, TraceReplay
+from repro.workloads.suite import WorkloadBinding
+
+
+def random_workload(seed: int):
+    """A seeded random deployment of 1-4 apps with random arrivals."""
+    rng = np.random.default_rng(seed)
+    count = int(rng.integers(1, 5))
+    raw = rng.uniform(0.5, 1.5, size=count)
+    quotas = raw / raw.sum()  # normalised, sums to 1
+    bindings = []
+    expected = 0
+    for index in range(count):
+        model = MODEL_NAMES[int(rng.integers(0, len(MODEL_NAMES)))]
+        app = inference_app(model).with_quota(
+            float(max(0.05, quotas[index])), app_id=f"{model}#{index}"
+        )
+        style = int(rng.integers(0, 3))
+        if style == 0:
+            requests = int(rng.integers(1, 4))
+            interval = float(rng.uniform(0.3, 2.0)) * app.solo_span_us
+            bindings.append(
+                WorkloadBinding(
+                    app=app,
+                    process_factory=lambda interval=interval, requests=requests,
+                    s=seed + index: ClosedLoop(
+                        interval_us=interval, max_requests=requests,
+                        jitter=0.2, seed=s,
+                    ),
+                )
+            )
+            expected += requests
+        elif style == 1:
+            bindings.append(WorkloadBinding(app=app, process_factory=OneShot))
+            expected += 1
+        else:
+            requests = int(rng.integers(2, 5))
+            times = sorted(
+                float(t) for t in rng.uniform(0, 3 * app.solo_span_us, requests)
+            )
+            bindings.append(
+                WorkloadBinding(
+                    app=app,
+                    process_factory=lambda times=tuple(times): TraceReplay(
+                        times_us=list(times)
+                    ),
+                )
+            )
+            expected += requests
+    return bindings, expected
+
+
+def check_invariants(result, expected):
+    assert result.count() == expected
+    seen = set()
+    for record in result.records:
+        assert (record.app_id, record.request_id) not in seen
+        seen.add((record.app_id, record.request_id))
+        assert math.isfinite(record.latency)
+        assert record.latency > 0
+        assert record.finish >= record.arrival
+        assert record.finish <= result.makespan_us + 1e-6
+    assert 0.0 <= result.utilization <= 1.0 + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_bless(seed):
+    bindings, expected = random_workload(seed)
+    result = BlessRuntime(validate=True).serve(bindings)
+    check_invariants(result, expected)
+    if expected:
+        assert result.extras["squads"] > 0
+
+
+@pytest.mark.parametrize("seed", range(12, 18))
+def test_fuzz_bless_ablated(seed):
+    bindings, expected = random_workload(seed)
+    config = BlessConfig(
+        use_multitask_scheduler=(seed % 2 == 0),
+        use_config_determiner=(seed % 3 == 0),
+        split_ratio=0.25 * (seed % 4),
+        semi_sp_mode="static" if seed % 2 else "adaptive",
+        max_kernels_per_squad=5 + 13 * (seed % 5),
+    )
+    result = BlessRuntime(config=config).serve(bindings)
+    check_invariants(result, expected)
+
+
+@pytest.mark.parametrize(
+    "system_cls", [GSLICESystem, UnboundSystem, TemporalSystem, REEFPlusSystem]
+)
+@pytest.mark.parametrize("seed", range(3))
+def test_fuzz_baselines(system_cls, seed):
+    bindings, expected = random_workload(seed + 100)
+    result = system_cls(validate=True).serve(bindings)
+    check_invariants(result, expected)
+
+
+@pytest.mark.parametrize("seed", range(18, 22))
+def test_fuzz_determinism(seed):
+    """Same seed, same workload, same system -> identical results."""
+    bindings_a, _ = random_workload(seed)
+    bindings_b, _ = random_workload(seed)
+    a = BlessRuntime().serve(bindings_a)
+    b = BlessRuntime().serve(bindings_b)
+    assert a.mean_of_app_means() == pytest.approx(b.mean_of_app_means())
+    assert a.makespan_us == pytest.approx(b.makespan_us)

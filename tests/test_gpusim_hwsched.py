@@ -1,0 +1,98 @@
+"""Unit tests for the hardware scheduler's SM allocation policies."""
+
+import pytest
+
+from repro.gpusim.context import GPUContext
+from repro.gpusim.hwsched import HardwareScheduler, waterfill
+from repro.gpusim.kernel import KernelInstance, KernelSpec
+from repro.gpusim.stream import DeviceQueue
+
+
+def running_kernel(demand, ctx, start=0.0):
+    spec = KernelSpec(name="k", base_duration_us=100.0, sm_demand=demand)
+    inst = KernelInstance(spec)
+    inst.start_time = start
+    queue = DeviceQueue(context=ctx)
+    return inst, queue
+
+
+def setup(demands_limits, policy="fair"):
+    """demands_limits: list of (demand, context_limit, start_time)."""
+    sched = HardwareScheduler(policy=policy)
+    running, queues = [], {}
+    for i, (demand, limit, start) in enumerate(demands_limits):
+        ctx = GPUContext(context_id=i, owner=f"o{i}", sm_limit=limit)
+        kernel, queue = running_kernel(demand, ctx, start)
+        running.append(kernel)
+        queues[kernel.uid] = queue
+    return sched, running, queues
+
+
+class TestWaterfill:
+    def test_empty(self):
+        assert waterfill([], 1.0) == []
+
+    def test_all_satisfied_when_capacity_ample(self):
+        assert waterfill([0.2, 0.3], 1.0) == pytest.approx([0.2, 0.3])
+
+    def test_equal_split_when_oversubscribed(self):
+        assert waterfill([1.0, 1.0], 1.0) == pytest.approx([0.5, 0.5])
+
+    def test_max_min_fairness(self):
+        # Small demand fully satisfied; leftovers to the big one.
+        alloc = waterfill([0.2, 1.0], 1.0)
+        assert alloc == pytest.approx([0.2, 0.8])
+
+    def test_never_exceeds_demand(self):
+        alloc = waterfill([0.1, 0.2, 0.3], 10.0)
+        assert alloc == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_total_never_exceeds_capacity(self):
+        alloc = waterfill([0.9, 0.9, 0.9], 1.0)
+        assert sum(alloc) == pytest.approx(1.0)
+
+
+class TestFairPolicy:
+    def test_respects_context_limit(self):
+        sched, running, queues = setup([(1.0, 0.25, 0.0)])
+        [alloc] = sched.allocate(running, queues)
+        assert alloc.sm_fraction == pytest.approx(0.25)
+
+    def test_two_contexts_share_gpu(self):
+        sched, running, queues = setup([(1.0, 1.0, 0.0), (1.0, 1.0, 0.0)])
+        allocs = sched.allocate(running, queues)
+        assert sorted(a.sm_fraction for a in allocs) == pytest.approx([0.5, 0.5])
+
+    def test_fitting_demands_both_satisfied(self):
+        sched, running, queues = setup([(0.3, 1.0, 0.0), (0.6, 1.0, 0.0)])
+        allocs = {a.kernel.uid: a.sm_fraction for a in sched.allocate(running, queues)}
+        assert sorted(allocs.values()) == pytest.approx([0.3, 0.6])
+
+    def test_empty_running_set(self):
+        sched = HardwareScheduler()
+        assert sched.allocate([], {}) == []
+
+    def test_total_capped_at_one(self):
+        sched, running, queues = setup([(1.0, 0.7, 0.0), (1.0, 0.7, 0.0)])
+        allocs = sched.allocate(running, queues)
+        assert sum(a.sm_fraction for a in allocs) <= 1.0 + 1e-9
+
+
+class TestFifoPolicy:
+    def test_earlier_kernel_hogs(self):
+        sched, running, queues = setup(
+            [(0.9, 1.0, 0.0), (0.9, 1.0, 1.0)], policy="fifo"
+        )
+        allocs = {a.kernel.uid: a.sm_fraction for a in sched.allocate(running, queues)}
+        first, second = running
+        assert allocs[first.uid] == pytest.approx(0.9)
+        assert allocs[second.uid] == pytest.approx(0.1)
+
+    def test_context_cap_still_applies(self):
+        sched, running, queues = setup([(1.0, 0.5, 0.0)], policy="fifo")
+        [alloc] = sched.allocate(running, queues)
+        assert alloc.sm_fraction == pytest.approx(0.5)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareScheduler(policy="bogus")

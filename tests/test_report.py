@@ -1,0 +1,42 @@
+"""Tests for the one-shot reproduction digest."""
+
+import json
+
+from repro.experiments.report import REPORT_SECTIONS, run
+
+
+class TestReportStructure:
+    def test_sections_cover_the_evaluation(self):
+        names = [name for name, _ in REPORT_SECTIONS]
+        for expected in ("Table 1", "Fig. 9", "Fig. 13", "Fig. 17", "§6.5", "§6.9"):
+            assert expected in names
+
+    def test_every_section_is_callable(self):
+        for _, section in REPORT_SECTIONS:
+            assert callable(section)
+
+    def test_fast_sections_produce_pairs(self):
+        """Run the two cheapest sections end-to-end."""
+        by_name = dict(REPORT_SECTIONS)
+        for name in ("Table 1", "§6.9"):
+            measured, paper = by_name[name]()
+            assert isinstance(measured, str) and measured
+            assert isinstance(paper, str) and paper
+
+
+class TestReportRun:
+    def test_run_with_json_dump(self, tmp_path, monkeypatch):
+        """run() over a stubbed section list writes valid JSON."""
+        import repro.experiments.report as report_module
+
+        monkeypatch.setattr(
+            report_module,
+            "REPORT_SECTIONS",
+            [("Stub", lambda: ("measured-value", "paper-value"))],
+        )
+        path = tmp_path / "digest.json"
+        digest = run(json_path=str(path))
+        assert digest["Stub"]["measured"] == "measured-value"
+        on_disk = json.loads(path.read_text())
+        assert on_disk["Stub"]["paper"] == "paper-value"
+        assert "seconds" in on_disk["Stub"]

@@ -1,0 +1,69 @@
+"""Deeper tests of the synthetic trace generators' shapes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import azure_trace, mean_interarrival, twitter_trace
+
+
+class TestTwitterShape:
+    def test_rate_modulation_present(self):
+        """The diurnal curve makes some windows denser than others."""
+        trace = np.asarray(twitter_trace(4_000_000.0, 5_000.0, seed=2))
+        window = 500_000.0
+        counts = [
+            ((trace >= start) & (trace < start + window)).sum()
+            for start in np.arange(0, 4_000_000.0, window)
+        ]
+        assert max(counts) > min(counts)
+
+    def test_more_arrivals_at_higher_rate(self):
+        dense = twitter_trace(2_000_000.0, 5_000.0, seed=4)
+        sparse = twitter_trace(2_000_000.0, 20_000.0, seed=4)
+        assert len(dense) > len(sparse)
+
+    def test_all_arrivals_within_duration(self):
+        duration = 1_000_000.0
+        for t in twitter_trace(duration, 10_000.0, seed=8):
+            assert 0.0 <= t < duration
+
+    def test_zero_burstiness_still_valid(self):
+        trace = twitter_trace(1_000_000.0, 10_000.0, seed=1, burstiness=0.0)
+        assert len(trace) > 10
+
+
+class TestAzureShape:
+    def test_on_off_structure(self):
+        """Arrivals cluster: many tiny gaps (bursts) and some huge ones."""
+        trace = np.asarray(azure_trace(20_000_000.0, 30_000.0, seed=6))
+        gaps = np.diff(trace)
+        tiny = (gaps < 10_000.0).sum()
+        huge = (gaps > 100_000.0).sum()
+        assert tiny > 0 and huge > 0
+
+    def test_sparser_than_twitter_at_same_nominal_interval(self):
+        """Azure's heavy tail spreads arrivals: higher gap variance."""
+        tw = np.diff(np.asarray(twitter_trace(10_000_000.0, 20_000.0, seed=3)))
+        az = np.diff(np.asarray(azure_trace(10_000_000.0, 20_000.0, seed=3)))
+        assert az.std() > tw.std()
+
+    def test_all_arrivals_within_duration(self):
+        duration = 2_000_000.0
+        for t in azure_trace(duration, 20_000.0, seed=5):
+            assert 0.0 <= t < duration
+
+    def test_pareto_shape_controls_tail(self):
+        mild = azure_trace(10_000_000.0, 20_000.0, seed=9, pareto_shape=3.0)
+        heavy = azure_trace(10_000_000.0, 20_000.0, seed=9, pareto_shape=1.2)
+        mild_max = max(np.diff(np.asarray(mild)))
+        heavy_max = max(np.diff(np.asarray(heavy)))
+        assert heavy_max > mild_max * 0.5  # heavy tail reaches further
+
+
+class TestMeanInterarrival:
+    def test_empty_and_single(self):
+        assert mean_interarrival([]) == float("inf")
+        assert mean_interarrival([5.0]) == float("inf")
+
+    def test_simple_mean(self):
+        assert mean_interarrival([0.0, 10.0, 30.0]) == pytest.approx(15.0)

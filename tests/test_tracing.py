@@ -1,0 +1,95 @@
+"""Tests for the structured kernel-event tracer."""
+
+import pytest
+
+from repro.apps.models import inference_app
+from repro.core.runtime import BlessRuntime
+from repro.gpusim.context import ContextRegistry
+from repro.gpusim.device import GPUDevice
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.kernel import KernelInstance, KernelSpec
+from repro.gpusim.tracing import KernelTracer, load_jsonl, summarize_trace
+from repro.workloads.arrivals import OneShot
+from repro.workloads.suite import WorkloadBinding
+
+
+def run_traced(n_kernels=3):
+    engine = SimEngine(device=GPUDevice())
+    tracer = KernelTracer(engine)
+    registry = ContextRegistry(engine.device)
+    ctx = registry.create("app", 0.5, charge_memory=False)
+    queue = engine.create_queue(ctx)
+    for i in range(n_kernels):
+        spec = KernelSpec(name=f"k{i}", base_duration_us=20.0, sm_demand=0.4)
+        engine.launch(KernelInstance(spec, app_id="app", seq=i), queue)
+    engine.run()
+    return tracer
+
+
+class TestTracer:
+    def test_one_event_per_kernel(self):
+        tracer = run_traced(4)
+        assert len(tracer.events) == 4
+        assert [e.seq for e in tracer.events] == [0, 1, 2, 3]
+
+    def test_event_fields(self):
+        tracer = run_traced(1)
+        event = tracer.events[0]
+        assert event.app_id == "app"
+        assert event.kind == "compute"
+        assert event.duration_us == pytest.approx(20.0)
+        assert event.finish_us > event.start_us >= event.enqueue_us
+        assert event.context_limit == pytest.approx(0.5)
+        assert event.context_id >= 0
+
+    def test_queue_wait_measured(self):
+        tracer = run_traced(3)
+        # Kernel 2 waited for kernels 0 and 1.
+        assert tracer.events[2].queue_wait_us == pytest.approx(40.0, rel=0.01)
+        assert tracer.total_queue_wait_us("app") > 0
+
+    def test_by_app_grouping(self):
+        tracer = run_traced(2)
+        grouped = tracer.by_app()
+        assert set(grouped) == {"app"}
+        assert len(grouped["app"]) == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = run_traced(3)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.save_jsonl(path) == 3
+        events = load_jsonl(path)
+        assert len(events) == 3
+        assert events[0].name == tracer.events[0].name
+        assert events[2].duration_us == pytest.approx(
+            tracer.events[2].duration_us
+        )
+
+    def test_summary(self):
+        tracer = run_traced(5)
+        summary = summarize_trace(tracer.events)
+        assert summary["kernels"] == 5
+        assert summary["mean_duration_us"] == pytest.approx(20.0)
+        assert summary["apps"] == 1
+        assert summarize_trace([]) == {"kernels": 0.0}
+
+    def test_trace_of_full_bless_run(self):
+        apps = [
+            inference_app("VGG").with_quota(0.5, app_id="v"),
+            inference_app("R50").with_quota(0.5, app_id="r"),
+        ]
+        system = BlessRuntime()
+        # Attach the tracer right after the engine exists: wrap setup.
+        original_setup = system.setup
+
+        def traced_setup():
+            system.tracer = KernelTracer(system.engine)
+            original_setup()
+
+        system.setup = traced_setup
+        system.serve([WorkloadBinding(app=a, process_factory=OneShot) for a in apps])
+        total_kernels = sum(len(a.kernels) for a in apps)
+        assert len(system.tracer.events) == total_kernels
+        # Restricted contexts appear in the trace when squads go spatial.
+        limits = {e.context_limit for e in system.tracer.events}
+        assert 1.0 in limits

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate every experiment output under results/.
+# Usage: bash tools/regenerate_results.sh  (takes ~10 minutes)
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+status=0
+for exp in $(python -c "from repro.experiments import ALL_EXPERIMENTS; print(' '.join(ALL_EXPERIMENTS))"); do
+    echo "=== ${exp} ==="
+    if python -m "repro.experiments.${exp}" > "results/${exp}.txt" 2>&1; then
+        echo "ok"
+    else
+        echo "FAILED (see results/${exp}.txt)"
+        status=1
+    fi
+done
+exit "${status}"

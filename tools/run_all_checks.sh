@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# The full verification pipeline: install, tests, benches, examples.
+set -u
+cd "$(dirname "$0")/.."
+PIP_NO_BUILD_ISOLATION=0 pip install -e . || exit 1
+python -m pytest tests/ || exit 1
+python -m pytest benchmarks/ --benchmark-only || exit 1
+for example in examples/*.py; do
+    echo "=== ${example} ==="
+    python "${example}" || exit 1
+done

@@ -8,7 +8,6 @@ the paper's qualitative shape.  Run with::
     pytest benchmarks/ --benchmark-only
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

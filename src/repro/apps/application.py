@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..gpusim.kernel import KernelInstance, KernelKind, KernelSpec
+from ..gpusim.kernel import KernelInstance, KernelSpec
 
 
 class AppKind(enum.Enum):

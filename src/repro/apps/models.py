@@ -24,7 +24,6 @@ traces exercise the same code paths as the real models.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np

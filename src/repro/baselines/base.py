@@ -216,7 +216,10 @@ class SharingSystem(abc.ABC):
             kernel = request.make_kernel(index)
             on_finish: Optional[Callable[[KernelInstance], None]] = None
             if index == total - 1:
-                on_finish = lambda _k, c=client: self.finish_request(c)
+
+                def on_finish(_k, c=client):
+                    self.finish_request(c)
+
             self.engine.launch(
                 kernel, queue, launch_overhead=launch_overhead, on_finish=on_finish
             )

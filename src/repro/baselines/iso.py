@@ -9,7 +9,7 @@ binding on its own private simulated GPU.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..apps.application import Application
 from ..gpusim.device import GPUSpec

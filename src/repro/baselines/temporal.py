@@ -104,7 +104,10 @@ class TemporalSystem(SharingSystem):
             kernel = request.make_kernel(i)
             on_finish = None
             if i == last_index:
-                on_finish = lambda k, c=client, e=slice_end: self._on_batch_done(c, k, e)
+
+                def on_finish(k, c=client, e=slice_end):
+                    self._on_batch_done(c, k, e)
+
             self.engine.launch(kernel, queue, on_finish=on_finish)
         request.next_kernel = batch_end
 

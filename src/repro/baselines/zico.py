@@ -52,7 +52,10 @@ class ZicoSystem(SharingSystem):
             kernel = request.make_kernel(index)
             on_finish = None
             if index == last:
-                on_finish = lambda k, c=client: self._on_segment_done(c, k)
+
+                def on_finish(k, c=client):
+                    self._on_segment_done(c, k)
+
             self.engine.launch(kernel, queue, on_finish=on_finish)
         request.next_kernel = end
 

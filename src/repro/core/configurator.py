@@ -12,15 +12,38 @@ proportional seed plus steepest-descent local search, which finds the
 same optimum in the common cases the paper evaluates (the objective —
 the max of per-app stacks, Eq. 1 — is unimodal along single-partition
 moves).
+
+Search-cost engineering (the §6.9 decision-latency budget):
+
+* **memoization** — decisions are cached in an LRU keyed by the squad's
+  signature (:meth:`KernelSquad.signature`); consecutive squads from
+  the same request mix are near-identical, so steady-state serving hits
+  the cache almost always (``repro.core.config_cache``);
+* **vectorization** — the default search builds one ``(K, N)`` Eq. 1
+  stack-cost matrix plus an ``(n_configs, K)`` composition matrix and
+  reduces them in bulk with numpy instead of per-composition loops;
+* **branch-and-bound** — the ``"scalar"`` mode walks the composition
+  tree depth-first and abandons a prefix as soon as one app's partial
+  stack already exceeds the incumbent best makespan (safe: granting the
+  remaining apps partitions can only add new stacks, never shrink the
+  prefix max).
+
+The pre-optimization path survives as ``config_search_mode="legacy"``;
+all three modes provably choose the same configuration (see
+``tests/test_config_cache.py`` and ``benchmarks/test_config_search_perf.py``).
 """
 
 from __future__ import annotations
 
+import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from .config import BlessConfig
+from .config_cache import CachedDecision, ExecutionConfigCache
 from .predictors import (
     concurrent_wave_estimate,
     interference_free_estimate,
@@ -53,7 +76,16 @@ class ExecutionConfig:
 
 
 def _compositions(total: int, parts: int):
-    """All ways to split ``total`` units into ``parts`` positive ints."""
+    """All ways to split ``total`` units into ``parts`` positive ints.
+
+    The space is empty when ``total < parts`` (some part would get 0)
+    or ``parts <= 0``; both yield nothing, and callers must handle the
+    empty space explicitly (the determiner falls back to the
+    unrestricted configuration) instead of relying on the silent
+    fall-through this used to be.
+    """
+    if parts <= 0 or total < parts:
+        return
     if parts == 1:
         yield (total,)
         return
@@ -67,12 +99,82 @@ def composition_count(n_partitions: int, k_requests: int) -> int:
     return math.comb(n_partitions - 1, k_requests - 1)
 
 
+# (n, k) -> (n_configs, k) int array, in _compositions order.  A handful
+# of (N, K) pairs recur for a given deployment, so the arrays are built
+# once per process.
+_COMPOSITION_ARRAYS: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _composition_array(total: int, parts: int) -> np.ndarray:
+    """The full composition space as one ``(n_configs, parts)`` matrix.
+
+    Compositions of ``total`` into ``parts`` positive integers biject
+    with ``parts - 1`` cut positions chosen from ``total - 1`` interior
+    gaps; ``itertools.combinations`` emits the cuts in lexicographic
+    order, which reproduces :func:`_compositions` order exactly.
+    """
+    key = (total, parts)
+    cached = _COMPOSITION_ARRAYS.get(key)
+    if cached is not None:
+        return cached
+    if parts <= 0 or total < parts:
+        array = np.empty((0, max(parts, 0)), dtype=np.int64)
+    elif parts == 1:
+        array = np.array([[total]], dtype=np.int64)
+    else:
+        cuts = np.array(
+            list(itertools.combinations(range(1, total), parts - 1)),
+            dtype=np.int64,
+        )
+        bounds = np.concatenate(
+            [
+                np.zeros((cuts.shape[0], 1), dtype=np.int64),
+                cuts,
+                np.full((cuts.shape[0], 1), total, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        array = np.diff(bounds, axis=1)
+    _COMPOSITION_ARRAYS[key] = array
+    return array
+
+
 class ExecutionConfigDeterminer:
-    """Searches the configuration space with the two estimators."""
+    """Searches the configuration space with the two estimators.
 
-    def __init__(self, config: BlessConfig):
+    ``mode`` overrides ``config.config_search_mode``; ``cache`` injects
+    a shared :class:`ExecutionConfigCache` (one is created from the
+    config's knobs when omitted and caching is enabled).
+    """
+
+    def __init__(
+        self,
+        config: BlessConfig,
+        cache: Optional[ExecutionConfigCache] = None,
+        mode: Optional[str] = None,
+    ):
         self.config = config
+        self.mode = mode or config.config_search_mode
+        if self.mode not in ("vectorized", "scalar", "legacy"):
+            raise ValueError(f"unknown config_search_mode {self.mode!r}")
+        if cache is None and config.use_config_cache:
+            cache = ExecutionConfigCache(config.config_cache_size)
+        self.cache = cache
 
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self):
+        """Hit/miss counters of the decision cache (None when disabled)."""
+        return self.cache.stats if self.cache is not None else None
+
+    def invalidate_cache(self) -> None:
+        """Drop memoized decisions — call after profile recalibration."""
+        if self.cache is not None:
+            self.cache.invalidate()
+
+    # ------------------------------------------------------------------
     def _nsp_estimate(
         self, squad: KernelSquad, profiles: Mapping[str, AppProfile]
     ) -> float:
@@ -86,9 +188,25 @@ class ExecutionConfigDeterminer:
         profiles: Mapping[str, AppProfile],
     ) -> ExecutionConfig:
         """Pick the fastest configuration for ``squad``."""
-        app_ids = squad.app_ids
-        if not app_ids:
+        if not squad.app_ids:
             raise ValueError("cannot configure an empty squad")
+        if self.cache is None:
+            return self._determine_uncached(squad, profiles)
+
+        key, canonical_order = squad.signature(profiles, self.config)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit.rebuild(canonical_order)
+        chosen = self._determine_uncached(squad, profiles)
+        self.cache.put(key, CachedDecision.from_config(chosen, canonical_order))
+        return chosen
+
+    def _determine_uncached(
+        self,
+        squad: KernelSquad,
+        profiles: Mapping[str, AppProfile],
+    ) -> ExecutionConfig:
+        app_ids = squad.app_ids
 
         # A single active request simply gets the whole GPU.
         if len(app_ids) == 1:
@@ -120,21 +238,19 @@ class ExecutionConfigDeterminer:
         if self.config.semi_sp_mode != "adaptive" or config.partitions is None:
             return config
         stacks = {}
-        cumulative: Dict[str, List[float]] = {}
+        cumulative: Dict[str, np.ndarray] = {}
         for app_id, entry in squad.entries.items():
             profile = profiles[app_id]
             partition = config.partitions[app_id]
-            acc = 0.0
-            starts = []
-            for index in entry.kernel_indices:
-                starts.append(acc)
-                acc += profile.step_cost(partition, index)
-            stacks[app_id] = acc
-            cumulative[app_id] = starts
+            cols = np.asarray(entry.kernel_indices, dtype=int)
+            costs = profile.durations[partition - 1, cols] + profile.gaps[cols]
+            ends = np.cumsum(costs)
+            stacks[app_id] = float(ends[-1]) if ends.size else 0.0
+            cumulative[app_id] = ends - costs  # start time of each kernel
         t_min = min(stacks.values())
         rear_counts = {}
         for app_id, starts in cumulative.items():
-            rear_counts[app_id] = sum(1 for s in starts if s >= t_min - 1e-9)
+            rear_counts[app_id] = int((starts >= t_min - 1e-9).sum())
         return ExecutionConfig(
             partitions=config.partitions,
             predicted_duration_us=config.predicted_duration_us,
@@ -142,6 +258,21 @@ class ExecutionConfigDeterminer:
         )
 
     # ------------------------------------------------------------------
+    def _stack_matrix(
+        self,
+        squad: KernelSquad,
+        profiles: Mapping[str, AppProfile],
+        app_ids: List[str],
+    ) -> np.ndarray:
+        """The ``(K, N)`` Eq. 1 cost matrix: ``S[a, p-1]`` is app ``a``'s
+        stacked restricted duration on a ``p``-partition slice."""
+        return np.stack(
+            [
+                profiles[app_id].stack_costs(squad.entry(app_id).kernel_indices)
+                for app_id in app_ids
+            ]
+        )
+
     def _best_spatial(
         self,
         squad: KernelSquad,
@@ -153,7 +284,12 @@ class ExecutionConfigDeterminer:
         if k > n:
             return None  # cannot give every request a partition
         if composition_count(n, k) <= self.config.max_enumerated_configs:
-            return self._enumerate(squad, profiles, app_ids, n)
+            if self.mode == "legacy":
+                return self._enumerate_legacy(squad, profiles, app_ids, n)
+            stack = self._stack_matrix(squad, profiles, app_ids)
+            if self.mode == "scalar":
+                return self._enumerate_pruned(stack, app_ids, n)
+            return self._enumerate_vectorized(stack, app_ids, n)
         return self._local_search(squad, profiles, app_ids, n)
 
     def _evaluate(
@@ -169,6 +305,9 @@ class ExecutionConfigDeterminer:
         breaks ties among makespan-equivalent splits — without it the
         search may pointlessly squeeze a short side onto one partition
         (slowing that request) when wider allocations cost nothing.
+
+        This is the pre-optimization per-kernel loop, retained for the
+        ``"legacy"`` search mode and as the equivalence reference.
         """
         total = 0.0
         longest = 0.0
@@ -182,13 +321,99 @@ class ExecutionConfigDeterminer:
             longest = max(longest, stack)
         return (longest, total)
 
-    def _enumerate(
+    def _enumerate_vectorized(
+        self,
+        stack: np.ndarray,
+        app_ids: List[str],
+        n: int,
+    ) -> Optional[ExecutionConfig]:
+        """Bulk-evaluate the whole composition space in numpy.
+
+        One fancy-index gather turns the ``(n_configs, K)`` composition
+        matrix into an ``(n_configs, K)`` cost matrix; a row-max and a
+        row-sum reduce it to the (makespan, total) objective, and the
+        argmin replicates the scalar scan's tie-breaking exactly
+        (first composition in enumeration order wins ties).
+        """
+        k = len(app_ids)
+        splits = _composition_array(n, k)
+        if splits.shape[0] == 0:
+            return None
+        costs = stack[np.arange(k)[None, :], splits - 1]
+        makespans = costs.max(axis=1)
+        totals = costs.sum(axis=1)
+        best_makespan = makespans.min()
+        on_best = makespans == best_makespan
+        best_total = totals[on_best].min()
+        index = int(np.argmax(on_best & (totals == best_total)))
+        return ExecutionConfig(
+            partitions=dict(zip(app_ids, (int(p) for p in splits[index]))),
+            predicted_duration_us=float(best_makespan),
+        )
+
+    def _enumerate_pruned(
+        self,
+        stack: np.ndarray,
+        app_ids: List[str],
+        n: int,
+    ) -> Optional[ExecutionConfig]:
+        """Depth-first enumeration with branch-and-bound pruning.
+
+        Walks compositions in the same lexicographic order as
+        :func:`_compositions`, carrying the incumbent best score.  A
+        prefix whose partial stack max already *exceeds* the incumbent
+        makespan cannot contain the winner (descendants only add
+        stacks) and is cut.  Pruning is strict-greater only: an
+        equal-makespan descendant may still win on the total-stack
+        tie-break, so those subtrees survive — decisions stay identical
+        to the exhaustive scan.
+        """
+        k = len(app_ids)
+        if k <= 0 or n < k:
+            return None
+        best_split: Optional[Tuple[int, ...]] = None
+        best_score = (math.inf, math.inf)
+        prefix = [0] * k
+
+        def descend(app: int, remaining: int, prefix_max: float, prefix_sum: float):
+            nonlocal best_split, best_score
+            if prefix_max > best_score[0]:
+                return  # bound: no descendant can beat the incumbent
+            if app == k - 1:
+                cost = float(stack[app, remaining - 1])
+                score = (max(prefix_max, cost), prefix_sum + cost)
+                if score < best_score:
+                    prefix[app] = remaining
+                    best_score = score
+                    best_split = tuple(prefix)
+                return
+            apps_left = k - app - 1
+            for parts in range(1, remaining - apps_left + 1):
+                cost = float(stack[app, parts - 1])
+                new_max = max(prefix_max, cost)
+                if new_max > best_score[0]:
+                    # Larger allocations only shrink this app's stack,
+                    # so later siblings may still fit — keep scanning.
+                    continue
+                prefix[app] = parts
+                descend(app + 1, remaining - parts, new_max, prefix_sum + cost)
+
+        descend(0, n, 0.0, 0.0)
+        if best_split is None:
+            return None
+        return ExecutionConfig(
+            partitions=dict(zip(app_ids, best_split)),
+            predicted_duration_us=best_score[0],
+        )
+
+    def _enumerate_legacy(
         self,
         squad: KernelSquad,
         profiles: Mapping[str, AppProfile],
         app_ids: List[str],
         n: int,
-    ) -> ExecutionConfig:
+    ) -> Optional[ExecutionConfig]:
+        """The pre-optimization exhaustive scan (per-kernel loops)."""
         best_split: Optional[Tuple[int, ...]] = None
         best_score: Tuple[float, float] = (math.inf, math.inf)
         for split in _compositions(n, len(app_ids)):
@@ -196,7 +421,11 @@ class ExecutionConfigDeterminer:
             if score < best_score:
                 best_score = score
                 best_split = split
-        assert best_split is not None
+        if best_split is None:
+            # Empty composition space (e.g. more requests than
+            # partitions): report "no spatial plan" so the caller falls
+            # back to the unrestricted configuration.
+            return None
         return ExecutionConfig(
             partitions=dict(zip(app_ids, best_split)),
             predicted_duration_us=best_score[0],
@@ -209,15 +438,21 @@ class ExecutionConfigDeterminer:
         app_ids: List[str],
         n: int,
     ) -> ExecutionConfig:
-        # Seed: partitions proportional to each request's full-GPU stack.
         k = len(app_ids)
+        stack = self._stack_matrix(squad, profiles, app_ids)
+
+        def score_of(split: Tuple[int, ...]) -> Tuple[float, float]:
+            costs = stack[np.arange(k), np.asarray(split) - 1]
+            return (float(costs.max()), float(costs.sum()))
+
+        # Seed: partitions proportional to each request's full-GPU stack
+        # (durations only — dispatch gaps don't scale with partitions).
         stacks = []
         for app_id in app_ids:
             entry = squad.entry(app_id)
             profile = profiles[app_id]
-            stacks.append(
-                sum(profile.duration(n, i) for i in entry.kernel_indices)
-            )
+            cols = np.asarray(entry.kernel_indices, dtype=int)
+            stacks.append(float(profile.durations[-1, cols].sum()))
         total_stack = sum(stacks) or 1.0
         split = [max(1, round(n * s / total_stack)) for s in stacks]
         # Repair the seed to sum exactly to n.
@@ -230,7 +465,7 @@ class ExecutionConfigDeterminer:
             split[i] += 1
 
         best = tuple(split)
-        best_score = self._evaluate(squad, profiles, app_ids, best)
+        best_score = score_of(best)
         improved = True
         while improved:
             improved = False
@@ -241,9 +476,7 @@ class ExecutionConfigDeterminer:
                     candidate = list(best)
                     candidate[src] -= 1
                     candidate[dst] += 1
-                    score = self._evaluate(
-                        squad, profiles, app_ids, tuple(candidate)
-                    )
+                    score = score_of(tuple(candidate))
                     if score < best_score:
                         best = tuple(candidate)
                         best_score = score

@@ -18,7 +18,7 @@ boundaries).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..apps.application import Application
 from ..gpusim.kernel import KernelSpec

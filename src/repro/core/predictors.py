@@ -19,13 +19,21 @@ execution configuration:
 Memcpy durations are included in both sums whether or not they overlap
 at runtime; the over-estimate is similar across configurations so it
 rarely flips the argmin (§4.4.2).
+
+The public estimators are numpy-vectorized over each request's kernel
+window (and, via :meth:`AppProfile.stack_costs`, over every partition
+size at once for the configuration search).  The original per-kernel
+Python loops are kept as ``*_scalar`` references; the test suite proves
+the two agree, and ``benchmarks/test_config_search_perf.py`` measures
+the gap.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Mapping
 
-from ..gpusim.hwsched import waterfill
+import numpy as np
+
 from ..gpusim.interference import InterferenceModel
 from .profiler import AppProfile
 from .squad import KernelSquad
@@ -37,6 +45,26 @@ def interference_free_estimate(
     partitions: Mapping[str, int],
 ) -> float:
     """Eq. 1: max over requests of the stacked restricted durations."""
+    longest = 0.0
+    for app_id, entry in squad.entries.items():
+        profile = profiles[app_id]
+        partition = partitions[app_id]
+        cols = np.asarray(entry.kernel_indices, dtype=int)
+        if cols.size == 0:
+            continue
+        stack = float(
+            profile.durations[partition - 1, cols].sum() + profile.gaps[cols].sum()
+        )
+        longest = max(longest, stack)
+    return longest
+
+
+def interference_free_estimate_scalar(
+    squad: KernelSquad,
+    profiles: Mapping[str, AppProfile],
+    partitions: Mapping[str, int],
+) -> float:
+    """Pre-vectorization Eq. 1 reference (per-kernel Python loop)."""
     longest = 0.0
     for app_id, entry in squad.entries.items():
         profile = profiles[app_id]
@@ -57,6 +85,59 @@ def workload_equivalence_estimate(
     if not entries:
         return 0.0
     depth = max(entry.count for entry in entries)
+    if depth == 0:
+        return 0.0
+
+    # Pad each request's kernel window to the squad depth: rows of
+    # per-wave demand / gap, masked where the request has no kernel.
+    n_entries = len(entries)
+    mask = np.zeros((n_entries, depth), dtype=bool)
+    demand = np.zeros((n_entries, depth), dtype=float)
+    gaps = np.zeros((n_entries, depth), dtype=float)
+    index_rows = []
+    for row, entry in enumerate(entries):
+        cols = np.asarray(entry.kernel_indices, dtype=int)
+        index_rows.append(cols)
+        count = cols.size
+        if count == 0:
+            continue
+        profile = profiles[entry.app_id]
+        mask[row, :count] = True
+        demand[row, :count] = profile.sm_demand[cols]
+        gaps[row, :count] = profile.gaps[cols]
+
+    # Per wave: every member runs at the wave's combined activated SMs.
+    active = np.minimum(1.0, demand.sum(axis=0))
+    total = 0.0
+    for row, entry in enumerate(entries):
+        cols = index_rows[row]
+        if cols.size == 0:
+            continue
+        profile = profiles[entry.app_id]
+        total += float(
+            profile.durations_at_fractions(active[: cols.size], cols).sum()
+        )
+    # Dispatch gaps overlap across requests in a wave; only the longest
+    # gap of the wave extends the squad's critical path.
+    members = mask.sum(axis=0)
+    populated = members > 0
+    if populated.any():
+        wave_gap = np.where(mask, gaps, -np.inf).max(axis=0)
+        total += float(
+            (wave_gap[populated] / np.maximum(1, members[populated])).sum()
+        )
+    return total
+
+
+def workload_equivalence_estimate_scalar(
+    squad: KernelSquad,
+    profiles: Mapping[str, AppProfile],
+) -> float:
+    """Pre-vectorization Eq. 2 reference (per-wave Python loop)."""
+    entries = list(squad.entries.values())
+    if not entries:
+        return 0.0
+    depth = max(entry.count for entry in entries)
     total = 0.0
     for wave in range(depth):
         wave_members = []
@@ -70,8 +151,6 @@ def workload_equivalence_estimate(
         active = min(1.0, combined_demand)
         for profile, index in wave_members:
             total += profile.duration_at_fraction(active, index)
-        # Dispatch gaps overlap across requests in a wave; only the
-        # longest gap of the wave extends the squad's critical path.
         if wave_members:
             total += max(float(p.gaps[i]) for p, i in wave_members) / max(
                 1, len(wave_members)
@@ -104,6 +183,55 @@ def concurrent_wave_estimate(
 
     # Squad-average congestion: duration-weighted mean SM demand and
     # memory intensity per request, summed over co-running requests.
+    per_app = []
+    for entry in entries:
+        profile = profiles[entry.app_id]
+        cols = np.asarray(entry.kernel_indices, dtype=int)
+        if cols.size == 0:
+            per_app.append((cols, profile, 0.0, 0.0))
+            continue
+        weights = profile.durations[-1, cols]
+        weight_sum = float(weights.sum())
+        if weight_sum <= 0:
+            per_app.append((cols, profile, 0.0, 0.0))
+        else:
+            mean_d = float(weights @ profile.sm_demand[cols]) / weight_sum
+            mean_m = float(weights @ profile.mem_intensity[cols]) / weight_sum
+            per_app.append((cols, profile, mean_d, mean_m))
+
+    total_demand = sum(d for _, _, d, _ in per_app)
+    total_intensity = sum(m for _, _, _, m in per_app)
+    congestion = max(1.0, total_demand)
+    concurrent = len(per_app) > 1
+
+    longest = 0.0
+    for cols, profile, _, mean_m in per_app:
+        if cols.size == 0:
+            continue
+        demand = profile.sm_demand[cols]
+        durations = profile.durations_at_fractions(demand / congestion, cols)
+        if concurrent:
+            pressure = min(1.0, max(0.0, total_intensity - mean_m))
+            slowdown = 1.0 + model.kappa_unrestricted * (
+                pressure ** model.gamma
+            ) * np.minimum(1.0, profile.mem_intensity[cols])
+            durations = durations * np.minimum(model.max_slowdown, slowdown)
+        stack = float(durations.sum() + profile.gaps[cols].sum())
+        longest = max(longest, stack)
+    return longest
+
+
+def concurrent_wave_estimate_scalar(
+    squad: KernelSquad,
+    profiles: Mapping[str, AppProfile],
+    interference: InterferenceModel | None = None,
+) -> float:
+    """Pre-vectorization wave-estimator reference (per-kernel loop)."""
+    model = interference or InterferenceModel()
+    entries = list(squad.entries.values())
+    if not entries:
+        return 0.0
+
     per_app = []
     for entry in entries:
         profile = profiles[entry.app_id]

@@ -16,8 +16,8 @@ the analytic profile matches an actual simulated solo run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +47,11 @@ class AppProfile:
     memory_mb: int
     # Simulated profiling cost (one full run + N partitioned runs).
     profiling_cost_us: float = 0.0
+    # Calibration token: bumped by OfflineProfiler.recalibrate().  The
+    # squad-signature cache embeds it, so decisions memoized against an
+    # older calibration become unreachable the moment the profile is
+    # re-measured (repro.core.config_cache).
+    version: int = 0
 
     @property
     def num_kernels(self) -> int:
@@ -87,6 +92,39 @@ class AppProfile:
         fraction = min(1.0, max(grid[0], fraction))
         return float(np.interp(fraction, grid, self.durations[:, kernel]))
 
+    def durations_at_fractions(
+        self, fractions: np.ndarray, kernels: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`duration_at_fraction`.
+
+        ``fractions[i]`` is the SM fraction for kernel ``kernels[i]``;
+        returns the interpolated durations as one array.  The profiled
+        grid is uniform (``p / N``), so the piecewise-linear lookup is a
+        direct index-and-lerp into the duration matrix.
+        """
+        n = self.num_partitions
+        frac = np.clip(np.asarray(fractions, dtype=float), 1.0 / n, 1.0)
+        position = frac * n - 1.0  # float row index into durations
+        low = np.floor(position).astype(int)
+        high = np.minimum(low + 1, n - 1)
+        weight = position - low
+        cols = np.asarray(kernels, dtype=int)
+        base = self.durations[low, cols]
+        return base + weight * (self.durations[high, cols] - base)
+
+    def stack_costs(self, kernels: Sequence[int]) -> np.ndarray:
+        """Per-partition critical-path cost of a kernel-index stack.
+
+        Returns an ``(N,)`` array whose ``p-1``-th element is the Eq. 1
+        stack term ``sum_i t[p][k_i] + gap[k_i]`` — every partition size
+        at once, which is what the vectorized configuration search
+        consumes as one row of its ``(K, N)`` cost matrix.
+        """
+        cols = np.asarray(list(kernels), dtype=int)
+        if cols.size == 0:
+            return np.zeros(self.num_partitions, dtype=float)
+        return self.durations[:, cols].sum(axis=1) + float(self.gaps[cols].sum())
+
     def mean_kernel_duration(self) -> float:
         return float(self.durations[-1].mean())
 
@@ -102,6 +140,26 @@ class OfflineProfiler:
         self.config = config
         self.gpu_spec = gpu_spec or GPUSpec()
         self._cache: Dict[str, AppProfile] = {}
+        # Bumped on recalibration; stamped into every profile produced
+        # afterwards so downstream memoization keys change with it.
+        self.version = 0
+
+    def recalibrate(self, app_name: Optional[str] = None) -> int:
+        """Drop measured profiles and advance the calibration token.
+
+        ``app_name`` limits the re-measurement to one application;
+        either way the token advances, so every squad-signature built
+        from profiles produced after this call differs from the ones
+        built before.  Callers holding an execution-config cache should
+        also call its ``invalidate()`` hook to free stale entries
+        eagerly (``BlessRuntime.recalibrate_profiles`` does both).
+        """
+        if app_name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(app_name, None)
+        self.version += 1
+        return self.version
 
     def profile(self, app: Application) -> AppProfile:
         """Profile ``app`` at every partition size (cached per app name)."""
@@ -133,6 +191,7 @@ class OfflineProfiler:
             mem_intensity=intensity,
             memory_mb=app.memory_mb,
             profiling_cost_us=cost,
+            version=self.version,
         )
         self._cache[app.name] = profile
         return profile

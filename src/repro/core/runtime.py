@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..apps.application import Request
 from ..baselines.base import ClientState, SharingSystem
 from ..gpusim.device import GPUSpec
 from ..gpusim.kernel import KernelInstance
@@ -57,6 +56,8 @@ class BlessRuntime(SharingSystem):
         )
         self.config = config
         self.profiler = OfflineProfiler(config=config, gpu_spec=self.gpu_spec)
+        # The determiner owns the squad-signature decision cache (LRU,
+        # invalidated on profile recalibration — see recalibrate_profiles).
         self.determiner = ExecutionConfigDeterminer(config)
         # Populated in setup():
         self.manager: ConcurrentKernelManager
@@ -96,6 +97,25 @@ class BlessRuntime(SharingSystem):
                 app.app_id, profile.iso_latency(partition)
             )
             self.manager.register_client(app.app_id)
+
+    def recalibrate_profiles(self) -> None:
+        """Re-measure every client's profile and drop stale decisions.
+
+        The profiler's version token advances, so re-measured profiles
+        produce new squad signatures; the explicit cache invalidation
+        frees the memoized decisions built against the old calibration.
+        """
+        self.profiler.recalibrate()
+        self.determiner.invalidate_cache()
+        slo = self.config.slo_targets_us or {}
+        for client in self.clients.values():
+            app = client.app
+            profile = self.profiler.profile(app)
+            self.profiles[app.app_id] = profile
+            partition = self._partition_of[app.app_id]
+            self._t_ref[app.app_id] = slo.get(
+                app.app_id, profile.iso_latency(partition)
+            )
 
     # ------------------------------------------------------------------
     # Serving
@@ -173,12 +193,14 @@ class BlessRuntime(SharingSystem):
         if exec_config.is_spatial:
             self._spatial_squads += 1
 
-        launch = lambda: self.manager.execute_squad(
-            squad,
-            exec_config,
-            on_kernel_finish=self._on_kernel_finish,
-            on_done=self._on_squad_done,
-        )
+        def launch() -> None:
+            self.manager.execute_squad(
+                squad,
+                exec_config,
+                on_kernel_finish=self._on_kernel_finish,
+                on_done=self._on_squad_done,
+            )
+
         if delay > 0:
             self.engine.schedule(delay, launch)
         else:
@@ -209,4 +231,7 @@ class BlessRuntime(SharingSystem):
             result.extras["kernels_per_squad"] = (
                 self._squad_kernel_total / self._squad_count
             )
+        cache_stats = self.determiner.cache_stats
+        if cache_stats is not None:
+            result.extras.update(cache_stats.as_dict(prefix="config_cache_"))
         return result

@@ -11,11 +11,14 @@ completions always coincide with squad boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, Hashable, List, Mapping, Sequence, Tuple
 
 from ..apps.application import Request
 from .config import BlessConfig
 from .progress import RequestProgress
+
+if TYPE_CHECKING:
+    from .profiler import AppProfile
 
 
 @dataclass
@@ -54,6 +57,50 @@ class KernelSquad:
 
     def entry(self, app_id: str) -> SquadEntry:
         return self.entries[app_id]
+
+    def signature(
+        self, profiles: Mapping[str, "AppProfile"], config: BlessConfig
+    ) -> Tuple[Hashable, List[str]]:
+        """Memoization key for the execution-configuration search.
+
+        Returns ``(key, app_ids)`` where ``key`` hashes everything the
+        determiner's decision depends on — per app: the profiled model,
+        its calibration ``version``, its provisioned quota, and its
+        kernel-index window (which, given the profile, fixes the
+        per-kernel duration vector exactly — a collision-free refinement
+        of duration bucketing); globally: ``K``, ``N`` and the search
+        knobs.  ``app_ids`` is the canonical (sorted-term) app order the
+        positional cached decision is aligned with.
+
+        The per-app terms are sorted, so the key is independent of both
+        squad insertion order and client identity: two clients serving
+        the same model at the same quota over the same kernel window
+        produce the same key and share one cached decision.
+        """
+        terms = []
+        for app_id, entry in self.entries.items():
+            profile = profiles[app_id]
+            terms.append(
+                (
+                    (
+                        profile.app_name,
+                        profile.version,
+                        entry.request.app.quota,
+                        tuple(entry.kernel_indices),
+                    ),
+                    app_id,
+                )
+            )
+        terms.sort(key=lambda t: t[0])
+        key: Hashable = (
+            tuple(t[0] for t in terms),
+            len(terms),
+            config.num_partitions,
+            config.nsp_predictor,
+            config.semi_sp_mode,
+            config.max_enumerated_configs,
+        )
+        return key, [t[1] for t in terms]
 
     def add(self, request: Request, kernel_index: int) -> None:
         app_id = request.app.app_id

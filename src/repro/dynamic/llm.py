@@ -16,7 +16,7 @@ plus a *decode-step* variant for autoregressive generation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..apps.application import Application, AppKind
 from ..gpusim.kernel import KernelKind, KernelSpec

@@ -20,7 +20,6 @@ from typing import Dict
 
 import numpy as np
 
-from ..apps.models import MODEL_NAMES
 from ..core.config import BlessConfig
 from ..core.runtime import BlessRuntime
 from ..workloads.suite import bind_load, symmetric_pair

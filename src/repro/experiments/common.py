@@ -8,7 +8,7 @@ small request counts; the examples and EXPERIMENTS.md use the defaults.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..baselines import (
     GSLICESystem,
@@ -20,7 +20,7 @@ from ..baselines import (
     UnboundSystem,
     ZicoSystem,
 )
-from ..core import BlessConfig, BlessRuntime
+from ..core import BlessRuntime
 from ..metrics.stats import ServingResult
 from ..workloads.suite import WorkloadBinding
 

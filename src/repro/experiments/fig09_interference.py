@@ -9,7 +9,7 @@ even MPS partitions slow down by ~7% on average vs running isolated.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -74,9 +74,9 @@ def app_level() -> Dict[Tuple[str, str], float]:
             inference_app(a).with_quota(0.5, app_id=f"{a}#1"),
             inference_app(b).with_quota(0.5, app_id=f"{b}#2"),
         ]
-        bindings = lambda: [
-            WorkloadBinding(app=app, process_factory=OneShot) for app in apps
-        ]
+        def bindings():
+            return [WorkloadBinding(app=app, process_factory=OneShot) for app in apps]
+
         iso = ISOSystem().serve(bindings())
         shared = GSLICESystem().serve(bindings())
         ratios = []

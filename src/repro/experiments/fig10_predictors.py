@@ -11,11 +11,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 
-from ..apps.application import Application
 from ..apps.models import MODEL_NAMES, inference_app
 from ..core.config import BlessConfig
 from ..core.predictors import (

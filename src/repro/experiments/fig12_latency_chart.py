@@ -9,7 +9,7 @@ the origin as the load drops.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..apps.models import inference_app
 from ..baselines.iso import ISOSystem

@@ -42,9 +42,9 @@ def run(
                 inference_app(model_a).with_quota(0.5, app_id="app1"),
                 inference_app(model_b).with_quota(0.5, app_id="app2"),
             ]
-            bindings = lambda: bind_trace(
-                apps, trace=trace, seed=seed + index, **params
-            )
+            def bindings(apps=apps, index=index):
+                return bind_trace(apps, trace=trace, seed=seed + index, **params)
+
             systems = {name: INFERENCE_SYSTEMS[name] for name in _SYSTEMS}
             results = serve_all(bindings, systems=systems)
             for name, result in results.items():

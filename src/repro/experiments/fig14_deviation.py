@@ -40,7 +40,9 @@ def run(
                 inference_app(model_a).with_quota(quota_a, app_id="app1"),
                 inference_app(model_b).with_quota(quota_b, app_id="app2"),
             ]
-            bindings = lambda: bind_load(apps, load, requests=requests)
+            def bindings(apps=apps):
+                return bind_load(apps, load, requests=requests)
+
             targets = iso_targets_us(bindings())
             chosen = {name: INFERENCE_SYSTEMS[name] for name in systems}
             results = serve_all(bindings, systems=chosen)
@@ -59,7 +61,9 @@ def run_quick(load: str = "B", requests: int = 5) -> Dict[str, float]:
                 inference_app(model_a).with_quota(quota_a, app_id="app1"),
                 inference_app(model_b).with_quota(quota_b, app_id="app2"),
             ]
-            bindings = lambda: bind_load(apps, load, requests=requests)
+            def bindings(apps=apps):
+                return bind_load(apps, load, requests=requests)
+
             targets = iso_targets_us(bindings())
             for name in ("TEMPORAL", "GSLICE", "BLESS"):
                 result = INFERENCE_SYSTEMS[name]().serve(bindings())

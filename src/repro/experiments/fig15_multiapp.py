@@ -24,7 +24,9 @@ def run(requests: int = 5, load: str = "B") -> Dict[int, Dict[str, Dict[str, flo
     out: Dict[int, Dict[str, Dict[str, float]]] = {}
     for count in (4, 8):
         apps = multi_app_mix(count)
-        bindings = lambda: bind_load(apps, load, requests=requests)
+        def bindings(apps=apps):
+            return bind_load(apps, load, requests=requests)
+
         targets = iso_targets_us(bindings())
         chosen = {name: INFERENCE_SYSTEMS[name] for name in _SYSTEMS}
         results = serve_all(bindings, systems=chosen)

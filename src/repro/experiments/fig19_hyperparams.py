@@ -12,9 +12,7 @@ shrinking to 40.2% at full 108 SMs — we reproduce the downward trend).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
-import numpy as np
+from typing import Dict, Tuple
 
 from ..apps.models import inference_app
 from ..baselines.gslice import GSLICESystem

@@ -9,7 +9,7 @@ different restrictions and switches between them at runtime (§4.5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .device import GPUDevice

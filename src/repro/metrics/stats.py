@@ -21,6 +21,55 @@ import numpy as np
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss accounting for a memoization cache.
+
+    Used by the execution-configuration cache (``repro.core.config_cache``)
+    and surfaced in ``ServingResult.extras`` so serving runs report how
+    much of the §4.4 search the squad-signature cache absorbed.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return self.hits / lookups
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combine counters from another cache (e.g. across GPUs)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            invalidations=self.invalidations + other.invalidations,
+        )
+
+    def as_dict(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten to float-valued counters for ``ServingResult.extras``."""
+        return {
+            f"{prefix}hits": float(self.hits),
+            f"{prefix}misses": float(self.misses),
+            f"{prefix}evictions": float(self.evictions),
+            f"{prefix}invalidations": float(self.invalidations),
+            f"{prefix}hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+
+@dataclass
 class RequestRecord:
     """Outcome of one served request."""
 

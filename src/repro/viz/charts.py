@@ -8,7 +8,7 @@ dependency — everything prints.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 
 def bar_chart(

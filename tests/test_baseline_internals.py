@@ -13,7 +13,7 @@ from repro.baselines import (
 )
 from repro.gpusim.kernel import KernelSpec
 from repro.workloads.arrivals import OneShot, TraceReplay
-from repro.workloads.suite import WorkloadBinding, bind_load, symmetric_pair
+from repro.workloads.suite import WorkloadBinding, bind_load
 
 
 def custom_app(app_id, n_kernels, dur, quota, demand=0.8):

@@ -1,6 +1,5 @@
 """Tests for deployment admission checks (§4.2.2)."""
 
-import pytest
 
 from repro.apps.application import Application, AppKind
 from repro.apps.models import all_inference_apps, inference_app

@@ -8,7 +8,6 @@ from repro.apps.application import Application, AppKind, Request
 from repro.apps.models import inference_app
 from repro.core.config import BlessConfig
 from repro.core.configurator import (
-    ExecutionConfig,
     ExecutionConfigDeterminer,
     composition_count,
     quota_proportional_config,
@@ -16,8 +15,11 @@ from repro.core.configurator import (
 )
 from repro.core.predictors import (
     concurrent_wave_estimate,
+    concurrent_wave_estimate_scalar,
     interference_free_estimate,
+    interference_free_estimate_scalar,
     workload_equivalence_estimate,
+    workload_equivalence_estimate_scalar,
 )
 from repro.core.profiler import OfflineProfiler
 from repro.core.squad import KernelSquad, SquadEntry
@@ -139,6 +141,70 @@ class TestCompositions:
 
     def test_single_part(self):
         assert list(_compositions(7, 1)) == [(7,)]
+
+    def test_empty_space_when_total_below_parts(self):
+        """Regression: total < parts must yield an explicit empty space."""
+        assert list(_compositions(2, 3)) == []
+        assert list(_compositions(0, 1)) == []
+        assert list(_compositions(5, 0)) == []
+
+    def test_enumerate_empty_space_returns_none_not_crash(self):
+        """Regression: the enumerator reports 'no spatial plan' (None)
+        for an empty composition space instead of dying on an assert."""
+        a = toy_app("a", [10.0])
+        b = toy_app("b", [10.0])
+        c = toy_app("c", [10.0])
+        profiler = OfflineProfiler()
+        squad = squad_of([(x, [0]) for x in (a, b, c)])
+        profiles = {x.app_id: profiler.profile(x) for x in (a, b, c)}
+        determiner = ExecutionConfigDeterminer(BlessConfig(), mode="legacy")
+        assert determiner._enumerate_legacy(squad, profiles, ["a", "b", "c"], 2) is None
+        pruned = ExecutionConfigDeterminer(BlessConfig(), mode="scalar")
+        assert pruned._enumerate_pruned(
+            pruned._stack_matrix(squad, profiles, ["a", "b", "c"]),
+            ["a", "b", "c"],
+            2,
+        ) is None
+        # End-to-end: the determiner falls back to the unrestricted plan.
+        config = BlessConfig(num_partitions=2)
+        small_profiler = OfflineProfiler(config=config)
+        small_profiles = {x.app_id: small_profiler.profile(x) for x in (a, b, c)}
+        result = ExecutionConfigDeterminer(config).determine(squad, small_profiles)
+        assert result.partitions is None
+
+
+class TestScalarVectorEquivalence:
+    """The vectorized estimators must match their scalar references."""
+
+    def make_squad(self):
+        a = toy_app("a", [120.0, 35.0, 80.0, 5.0], demand=0.7, gap=3.0)
+        b = toy_app("b", [60.0, 45.0, 10.0], demand=0.9, gap=1.5)
+        profiler = OfflineProfiler()
+        profiles = {"a": profiler.profile(a), "b": profiler.profile(b)}
+        squad = squad_of([(a, [0, 1, 2, 3]), (b, [0, 1, 2])])
+        return squad, profiles
+
+    def test_eq1_matches_scalar(self):
+        squad, profiles = self.make_squad()
+        for split in ({"a": 9, "b": 9}, {"a": 13, "b": 5}, {"a": 2, "b": 16}):
+            assert interference_free_estimate(
+                squad, profiles, split
+            ) == pytest.approx(
+                interference_free_estimate_scalar(squad, profiles, split),
+                rel=1e-12,
+            )
+
+    def test_eq2_matches_scalar(self):
+        squad, profiles = self.make_squad()
+        assert workload_equivalence_estimate(squad, profiles) == pytest.approx(
+            workload_equivalence_estimate_scalar(squad, profiles), rel=1e-12
+        )
+
+    def test_wave_matches_scalar(self):
+        squad, profiles = self.make_squad()
+        assert concurrent_wave_estimate(squad, profiles) == pytest.approx(
+            concurrent_wave_estimate_scalar(squad, profiles), rel=1e-12
+        )
 
 
 class TestDeterminer:

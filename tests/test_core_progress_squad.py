@@ -97,7 +97,7 @@ class TestSquadGeneration:
     def test_stops_at_request_end(self):
         config = BlessConfig(max_kernels_per_squad=500)
         a = make_progress(app_id="a", model="VGG")  # 33 kernels incl. memcpy
-        squad = generate_squad([a], now=1000.0, config=config)
+        generate_squad([a], now=1000.0, config=config)
         # Solo squads are capped, so drain the request in several calls.
         total = 0
         while not a.exhausted:

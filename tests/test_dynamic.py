@@ -104,7 +104,6 @@ class TestRouting:
                                        prompt_range=(16, 256),
                                        decode_range=(4, 16))
         bless = BlessRuntime().serve(route_requests(llm, requests))
-        gslice_quota = 1.0 / len(route_requests(llm, requests))
         assert bless.count() >= len(requests)
         assert all(r.latency > 0 for r in bless.records)
 

@@ -162,7 +162,9 @@ class TestDispatchGaps:
         qa = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
         qb = engine.create_queue(registry.create("b", 1.0, charge_memory=False))
         engine.launch(KernelInstance(compute(dur=10.0, demand=1.0)), qa, launch_overhead=0.0)
-        engine.launch(KernelInstance(compute(dur=20.0, demand=1.0, gap=50.0)), qa, launch_overhead=0.0)
+        engine.launch(
+            KernelInstance(compute(dur=20.0, demand=1.0, gap=50.0)), qa, launch_overhead=0.0
+        )
         finish = {}
         engine.launch(
             KernelInstance(compute(dur=30.0, demand=1.0)), qb, launch_overhead=0.0,

@@ -1,6 +1,5 @@
 """Unit tests for the kernel descriptors and the scaling model."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.gpusim.engine import TimelineSegment
-from repro.metrics.bubbles import BubbleReport, bubbles_from_timeline, _merge_windows
+from repro.metrics.bubbles import bubbles_from_timeline, _merge_windows
 from repro.metrics.deviation import (
     average_deviation_us,
     latency_deviation_us,

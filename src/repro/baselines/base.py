@@ -124,6 +124,8 @@ class SharingSystem(abc.ABC):
 
         self._result.makespan_us = self.engine.now
         self._result.utilization = self.engine.utilization()
+        for key, value in self.engine.counters.items():
+            self._result.extras[f"engine_{key}"] = float(value)
         return self._result
 
     # ------------------------------------------------------------------
@@ -212,15 +214,14 @@ class SharingSystem(abc.ABC):
         if request is None:
             raise RuntimeError(f"no active request for {client.app_id}")
         total = request.total_kernels
-        for index in range(total):
-            kernel = request.make_kernel(index)
-            on_finish: Optional[Callable[[KernelInstance], None]] = None
-            if index == total - 1:
 
-                def on_finish(_k, c=client):
-                    self.finish_request(c)
+        def on_last(_k, c=client):
+            self.finish_request(c)
 
-            self.engine.launch(
-                kernel, queue, launch_overhead=launch_overhead, on_finish=on_finish
-            )
+        kernels = [request.make_kernel(index) for index in range(total)]
+        callbacks: List[Optional[Callable[[KernelInstance], None]]] = [None] * total
+        callbacks[total - 1] = on_last
+        self.engine.launch_batch(
+            kernels, queue, launch_overhead=launch_overhead, callbacks=callbacks
+        )
         request.next_kernel = total

@@ -47,6 +47,9 @@ class MIGSystem(SharingSystem):
             merged.records.extend(result.records)
             makespan = max(makespan, result.makespan_us)
             busy += result.utilization * result.makespan_us
+            for key, value in result.extras.items():
+                if key.startswith("engine_"):
+                    merged.extras[key] = merged.extras.get(key, 0.0) + value
         merged.makespan_us = makespan
         merged.utilization = min(1.0, busy / makespan) if makespan > 0 else 0.0
         merged.extras["slices"] = float(

@@ -99,16 +99,15 @@ class TemporalSystem(SharingSystem):
                 break
         batch_end = max(index, request.next_kernel + 1)
 
-        last_index = batch_end - 1
-        for i in range(request.next_kernel, batch_end):
-            kernel = request.make_kernel(i)
-            on_finish = None
-            if i == last_index:
+        def on_last(k, c=client, e=slice_end):
+            self._on_batch_done(c, k, e)
 
-                def on_finish(k, c=client, e=slice_end):
-                    self._on_batch_done(c, k, e)
-
-            self.engine.launch(kernel, queue, on_finish=on_finish)
+        kernels = [
+            request.make_kernel(i) for i in range(request.next_kernel, batch_end)
+        ]
+        callbacks = [None] * len(kernels)
+        callbacks[-1] = on_last
+        self.engine.launch_batch(kernels, queue, callbacks=callbacks)
         request.next_kernel = batch_end
 
     def _on_batch_done(self, client: ClientState, kernel, slice_end: float) -> None:

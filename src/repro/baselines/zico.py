@@ -47,16 +47,14 @@ class ZicoSystem(SharingSystem):
         else:
             start = request.next_kernel
             end = request.total_kernels
-        last = end - 1
-        for index in range(start, end):
-            kernel = request.make_kernel(index)
-            on_finish = None
-            if index == last:
+        def on_last(k, c=client):
+            self._on_segment_done(c, k)
 
-                def on_finish(k, c=client):
-                    self._on_segment_done(c, k)
-
-            self.engine.launch(kernel, queue, on_finish=on_finish)
+        kernels = [request.make_kernel(index) for index in range(start, end)]
+        if kernels:
+            callbacks = [None] * len(kernels)
+            callbacks[-1] = on_last
+            self.engine.launch_batch(kernels, queue, callbacks=callbacks)
         request.next_kernel = end
 
     def _on_segment_done(self, client: ClientState, kernel) -> None:

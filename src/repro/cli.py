@@ -56,7 +56,7 @@ def cmd_experiments(_args) -> int:
 def cmd_report(args) -> int:
     from .experiments import report
 
-    digest = report.run(json_path=args.json)
+    digest = report.run(json_path=args.json, jobs=args.jobs)
     from .experiments.common import format_table
 
     rows = [[name, e["measured"], e["paper"]] for name, e in digest.items()]
@@ -70,7 +70,7 @@ def cmd_experiment(args) -> int:
         print(f"unknown experiment {args.name!r}; see `python -m repro experiments`")
         return 2
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    module.main()
+    module.main(jobs=args.jobs)
     return 0
 
 
@@ -172,12 +172,19 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_experiments
     )
 
+    jobs_help = (
+        "worker processes for independent simulation cells "
+        "(default: all cores; 1 = serial, output is identical either way)"
+    )
+
     p = sub.add_parser("report", help="run the full reproduction digest")
     p.add_argument("--json", help="also write the digest as JSON here")
+    p.add_argument("--jobs", type=int, default=0, help=jobs_help)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("experiment", help="run one experiment")
     p.add_argument("name")
+    p.add_argument("--jobs", type=int, default=0, help=jobs_help)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("serve", help="serve a workload and compare systems")

@@ -190,10 +190,8 @@ class ConcurrentKernelManager:
     ) -> None:
         if not indices:
             return
-        last = indices[-1]
-        for index in indices:
-            kernel = entry.request.make_kernel(index)
-            callback = kernel_done
-            if index == last and last_callback is not None:
-                callback = last_callback
-            self.engine.launch(kernel, queue, on_finish=callback)
+        kernels = [entry.request.make_kernel(index) for index in indices]
+        callbacks: List[Optional[KernelCallback]] = [kernel_done] * len(indices)
+        if last_callback is not None:
+            callbacks[-1] = last_callback
+        self.engine.launch_batch(kernels, queue, callbacks=callbacks)

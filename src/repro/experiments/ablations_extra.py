@@ -67,7 +67,7 @@ def run(requests: int = 6, load: str = "B") -> Dict[str, Dict[str, float]]:
     return out
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     for knob, values in data.items():
         rows = [[setting, f"{latency:.2f}"] for setting, latency in values.items()]

@@ -4,11 +4,25 @@ Every experiment module exposes ``run(...) -> dict`` returning the
 structured data the paper's figure/table plots, plus a ``main()`` that
 prints it as rows.  Benchmarks under ``benchmarks/`` call ``run`` with
 small request counts; the examples and EXPERIMENTS.md use the defaults.
+
+Parallel execution
+------------------
+The paper's evaluation is a grid of *independent* simulations —
+(system, workload binding) cells — so the harness fans cells out over a
+``ProcessPoolExecutor`` (`run_cells`).  Determinism is preserved by
+construction: every cell is self-contained (its bindings factory builds
+a freshly seeded workload inside the worker) and results are merged in
+the submission order, so ``jobs=N`` output is byte-identical to
+``jobs=1``.  ``jobs=None`` honours the ``REPRO_JOBS`` environment
+variable and defaults to serial; ``jobs=0`` means "all cores".
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
 from ..baselines import (
     GSLICESystem,
@@ -46,16 +60,103 @@ TRAINING_SYSTEMS: Dict[str, Callable[[], SharingSystem]] = {
 }
 
 
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count policy shared by the CLI and the runners.
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable and
+    then to 1 (serial — today's behaviour); ``0`` or a negative count
+    means "use every core".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class ServeCell:
+    """One independent (system, workload-binding) simulation.
+
+    Cells are shipped to worker processes, so every field must pickle:
+    use ``functools.partial`` over module-level functions for the
+    bindings factory, never a closure or lambda.
+    """
+
+    key: Hashable
+    system: str
+    system_factory: Callable[[], SharingSystem]
+    bindings_factory: Callable[[], Sequence[WorkloadBinding]]
+    # Extra keyword arguments for the system factory (picklable).
+    system_kwargs: dict = field(default_factory=dict)
+
+    def execute(self) -> ServingResult:
+        system = self.system_factory(**self.system_kwargs)
+        return system.serve(self.bindings_factory())
+
+
+def _execute_cell(cell: ServeCell) -> ServingResult:
+    # Module-level trampoline so ProcessPoolExecutor can pickle it.
+    return cell.execute()
+
+
+# One cached worker pool, reused across run_cells calls: a report run
+# executes dozens of cell grids back to back, and forking a fresh pool
+# for each would dominate small grids.  Keyed by (worker count, engine
+# mode) because forked workers freeze REPRO_ENGINE_MODE at creation.
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_key: Optional[tuple] = None
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_key
+    key = (workers, os.environ.get("REPRO_ENGINE_MODE", ""))
+    if _pool is not None and _pool_key == key:
+        return _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False)
+    _pool = ProcessPoolExecutor(max_workers=workers)
+    _pool_key = key
+    return _pool
+
+
+def run_cells(
+    cells: Iterable[ServeCell], jobs: Optional[int] = None
+) -> List[ServingResult]:
+    """Execute every cell; results align with the input order.
+
+    With ``jobs > 1`` cells run across a process pool; ``pool.map``
+    preserves submission order, and each cell reconstructs its own
+    workload from scratch inside the worker, so the output is
+    byte-identical to the serial path.
+    """
+    cells = list(cells)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        return [cell.execute() for cell in cells]
+    pool = _get_pool(min(jobs, len(cells)))
+    return list(pool.map(_execute_cell, cells))
+
+
 def serve_all(
     bindings_factory: Callable[[], Sequence[WorkloadBinding]],
     systems: Optional[Dict[str, Callable[[], SharingSystem]]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ServingResult]:
     """Serve the same (freshly bound) workload on every system."""
     chosen = systems or INFERENCE_SYSTEMS
-    results = {}
-    for name, factory in chosen.items():
-        results[name] = factory().serve(bindings_factory())
-    return results
+    cells = [
+        ServeCell(
+            key=name,
+            system=name,
+            system_factory=factory,
+            bindings_factory=bindings_factory,
+        )
+        for name, factory in chosen.items()
+    ]
+    results = run_cells(cells, jobs=jobs)
+    return {cell.system: result for cell, result in zip(cells, results)}
 
 
 def mean_latency_ms(result: ServingResult) -> float:

@@ -71,7 +71,7 @@ def run() -> Dict[str, Dict[str, float]]:
     return out
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     rows = [
         [

@@ -36,7 +36,7 @@ def run() -> Dict[str, Dict[str, float]]:
     return out
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     apps = sorted(k for k in next(iter(data.values())) if k != "avg")
     rows = []

@@ -99,7 +99,7 @@ def run() -> Dict[str, object]:
     }
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     rows = [[f"{p:.1f}", f"{s:.2f}x"] for p, s in data["kernel_level"].items()]
     print(format_table(["mem pressure", "slowdown"], rows, "Fig. 9(a) kernel-level"))

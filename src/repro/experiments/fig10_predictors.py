@@ -109,7 +109,7 @@ def run(pairs: int = 40, kernels_per_side: int = 25, seed: int = 7) -> Dict[str,
     }
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     rows = [
         [

@@ -58,7 +58,7 @@ def run_cases(requests: int = 8) -> Dict[str, List[Dict[str, float]]]:
     }
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     for case, points in run_cases().items():
         rows = [
             [

@@ -11,7 +11,8 @@ within a few % of GSLICE).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -25,25 +26,42 @@ from ..workloads.suite import (
 from .common import (
     INFERENCE_SYSTEMS,
     TRAINING_SYSTEMS,
+    ServeCell,
     format_table,
     mean_latency_ms,
+    run_cells,
     serve_all,
 )
 
 
-def run_inference(requests: int = 10, loads=("A", "B", "C")) -> Dict[str, object]:
-    rows: List[Dict[str, object]] = []
+def run_inference(
+    requests: int = 10, loads=("A", "B", "C"), jobs: Optional[int] = None
+) -> Dict[str, object]:
+    # The whole (model, load, system) grid as independent cells so that
+    # --jobs parallelism spans every simulation, not one row at a time.
+    cells: List[ServeCell] = []
     for model in MODEL_NAMES:
         for load in loads:
             apps = symmetric_pair(model)
-            results = serve_all(lambda: bind_load(apps, load, requests=requests))
-            rows.append(
-                {
-                    "model": model,
-                    "load": load,
-                    **{name: mean_latency_ms(r) for name, r in results.items()},
-                }
-            )
+            bindings = partial(bind_load, apps, load, requests=requests)
+            for name, factory in INFERENCE_SYSTEMS.items():
+                cells.append(
+                    ServeCell(
+                        key=(model, load),
+                        system=name,
+                        system_factory=factory,
+                        bindings_factory=bindings,
+                    )
+                )
+    grouped: Dict[object, Dict[str, float]] = {}
+    for cell, result in zip(cells, run_cells(cells, jobs=jobs)):
+        grouped.setdefault(cell.key, {})[cell.system] = mean_latency_ms(result)
+
+    rows: List[Dict[str, object]] = [
+        {"model": model, "load": load, **grouped[(model, load)]}
+        for model in MODEL_NAMES
+        for load in loads
+    ]
     # Aggregate reductions.
     reductions = {}
     bless = np.array([row["BLESS"] for row in rows])
@@ -56,14 +74,17 @@ def run_inference(requests: int = 10, loads=("A", "B", "C")) -> Dict[str, object
 
 
 def run_training(
-    requests: int = 3, pairs=(("R50", "VGG"), ("R101", "R50"))
+    requests: int = 3,
+    pairs=(("R50", "VGG"), ("R101", "R50")),
+    jobs: Optional[int] = None,
 ) -> Dict[str, object]:
     rows = []
     for model_a, model_b in pairs:
         apps = training_pair(model_a, model_b)
         results = serve_all(
-            lambda: bind_load(apps, "C", requests=requests),
+            partial(bind_load, apps, "C", requests=requests),
             systems=TRAINING_SYSTEMS,
+            jobs=jobs,
         )
         rows.append(
             {
@@ -74,20 +95,23 @@ def run_training(
     return {"rows": rows}
 
 
-def run_saturation(model: str = "R50", requests: int = 10) -> Dict[str, float]:
+def run_saturation(
+    model: str = "R50", requests: int = 10, jobs: Optional[int] = None
+) -> Dict[str, float]:
     """Continuous arrivals: no bubbles exist; BLESS ~ GSLICE (§6.3)."""
     apps = symmetric_pair(model)
     results = serve_all(
-        lambda: bind_continuous(apps, requests=requests),
+        partial(bind_continuous, apps, requests=requests),
         systems={"GSLICE": INFERENCE_SYSTEMS["GSLICE"], "BLESS": INFERENCE_SYSTEMS["BLESS"]},
+        jobs=jobs,
     )
     gslice = mean_latency_ms(results["GSLICE"])
     bless = mean_latency_ms(results["BLESS"])
     return {"GSLICE": gslice, "BLESS": bless, "overhead": bless / gslice - 1.0}
 
 
-def main() -> None:
-    inference = run_inference()
+def main(jobs: Optional[int] = None) -> None:
+    inference = run_inference(jobs=jobs)
     names = list(INFERENCE_SYSTEMS)
     rows = [
         [r["model"], r["load"]] + [f"{r[n]:.2f}" for n in names]

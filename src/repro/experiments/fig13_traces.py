@@ -9,13 +9,20 @@ abundant bubbles.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..apps.models import inference_app
 from ..workloads.suite import bind_trace, mutual_pairs
-from .common import INFERENCE_SYSTEMS, format_table, mean_latency_ms, serve_all
+from .common import (
+    INFERENCE_SYSTEMS,
+    ServeCell,
+    format_table,
+    mean_latency_ms,
+    run_cells,
+)
 
 _SYSTEMS = ("TEMPORAL", "MIG", "GSLICE", "BLESS")
 
@@ -31,25 +38,38 @@ _TRACE_PARAMS = {
 def run(
     pairs: Sequence[Tuple[str, str]] = None,
     seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Mean latency per system per trace, averaged over model pairs."""
     chosen_pairs = list(pairs) if pairs is not None else mutual_pairs()[:4]
-    out: Dict[str, Dict[str, float]] = {}
+    cells: List[ServeCell] = []
     for trace, params in _TRACE_PARAMS.items():
-        sums: Dict[str, List[float]] = {name: [] for name in _SYSTEMS}
         for index, (model_a, model_b) in enumerate(chosen_pairs):
             apps = [
                 inference_app(model_a).with_quota(0.5, app_id="app1"),
                 inference_app(model_b).with_quota(0.5, app_id="app2"),
             ]
-            def bindings(apps=apps, index=index):
-                return bind_trace(apps, trace=trace, seed=seed + index, **params)
+            bindings = partial(
+                bind_trace, apps, trace=trace, seed=seed + index, **params
+            )
+            for name in _SYSTEMS:
+                cells.append(
+                    ServeCell(
+                        key=trace,
+                        system=name,
+                        system_factory=INFERENCE_SYSTEMS[name],
+                        bindings_factory=bindings,
+                    )
+                )
+    sums: Dict[str, Dict[str, List[float]]] = {
+        trace: {name: [] for name in _SYSTEMS} for trace in _TRACE_PARAMS
+    }
+    for cell, result in zip(cells, run_cells(cells, jobs=jobs)):
+        sums[cell.key][cell.system].append(mean_latency_ms(result))
 
-            systems = {name: INFERENCE_SYSTEMS[name] for name in _SYSTEMS}
-            results = serve_all(bindings, systems=systems)
-            for name, result in results.items():
-                sums[name].append(mean_latency_ms(result))
-        out[trace] = {name: float(np.mean(v)) for name, v in sums.items()}
+    out: Dict[str, Dict[str, float]] = {}
+    for trace in _TRACE_PARAMS:
+        out[trace] = {name: float(np.mean(v)) for name, v in sums[trace].items()}
         bless = out[trace]["BLESS"]
         for name in _SYSTEMS:
             if name != "BLESS":
@@ -57,8 +77,8 @@ def run(
     return out
 
 
-def main() -> None:
-    data = run()
+def main(jobs: Optional[int] = None) -> None:
+    data = run(jobs=jobs)
     for trace, stats in data.items():
         rows = [
             [name, f"{stats[name]:.2f}",

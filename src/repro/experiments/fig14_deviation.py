@@ -9,7 +9,8 @@ these splits (fixed 1/7 slice granularity).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -17,7 +18,7 @@ from ..apps.models import MODEL_NAMES, inference_app
 from ..baselines.iso import iso_targets_us
 from ..metrics.deviation import latency_deviation_us
 from ..workloads.suite import QUOTAS_2MODEL, bind_load
-from .common import INFERENCE_SYSTEMS, serve_all
+from .common import INFERENCE_SYSTEMS, ServeCell, run_cells
 
 
 def _pairs() -> List[List[str]]:
@@ -31,23 +32,34 @@ def run(
     requests: int = 6,
     systems=("TEMPORAL", "GSLICE", "UNBOUND", "REEF+", "BLESS"),
     quotas=QUOTAS_2MODEL,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Mean latency deviation (us) per system over pairs x quota splits."""
-    deviations: Dict[str, List[float]] = {name: [] for name in systems}
+    combos = []
+    cells: List[ServeCell] = []
     for model_a, model_b in _pairs():
         for quota_a, quota_b in quotas:
             apps = [
                 inference_app(model_a).with_quota(quota_a, app_id="app1"),
                 inference_app(model_b).with_quota(quota_b, app_id="app2"),
             ]
-            def bindings(apps=apps):
-                return bind_load(apps, load, requests=requests)
-
-            targets = iso_targets_us(bindings())
-            chosen = {name: INFERENCE_SYSTEMS[name] for name in systems}
-            results = serve_all(bindings, systems=chosen)
-            for name, result in results.items():
-                deviations[name].append(latency_deviation_us(result, targets))
+            bindings = partial(bind_load, apps, load, requests=requests)
+            combos.append(bindings)
+            for name in systems:
+                cells.append(
+                    ServeCell(
+                        key=len(combos) - 1,
+                        system=name,
+                        system_factory=INFERENCE_SYSTEMS[name],
+                        bindings_factory=bindings,
+                    )
+                )
+    targets = [iso_targets_us(bindings()) for bindings in combos]
+    deviations: Dict[str, List[float]] = {name: [] for name in systems}
+    for cell, result in zip(cells, run_cells(cells, jobs=jobs)):
+        deviations[cell.system].append(
+            latency_deviation_us(result, targets[cell.key])
+        )
     return {name: float(np.mean(values)) for name, values in deviations.items()}
 
 
@@ -73,8 +85,8 @@ def run_quick(load: str = "B", requests: int = 5) -> Dict[str, float]:
     return {name: float(np.mean(v)) for name, v in deviations.items()}
 
 
-def main() -> None:
-    data = run()
+def main(jobs: Optional[int] = None) -> None:
+    data = run(jobs=jobs)
     print("Fig. 14: average latency deviation (ms), lower is better")
     for name, value in sorted(data.items(), key=lambda kv: kv[1], reverse=True):
         print(f"  {name:9s} {value / 1000.0:7.2f}")

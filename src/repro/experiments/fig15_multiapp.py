@@ -10,38 +10,52 @@ optimally at runtime for many apps, §6.4).
 
 from __future__ import annotations
 
-from typing import Dict
+from functools import partial
+from typing import Dict, List, Optional
 
 from ..baselines.iso import iso_targets_us
 from ..metrics.deviation import latency_deviation_us
 from ..workloads.suite import bind_load, multi_app_mix
-from .common import INFERENCE_SYSTEMS, format_table, mean_latency_ms, serve_all
+from .common import (
+    INFERENCE_SYSTEMS,
+    ServeCell,
+    format_table,
+    mean_latency_ms,
+    run_cells,
+)
 
 _SYSTEMS = ("TEMPORAL", "GSLICE", "UNBOUND", "BLESS")
 
 
-def run(requests: int = 5, load: str = "B") -> Dict[int, Dict[str, Dict[str, float]]]:
-    out: Dict[int, Dict[str, Dict[str, float]]] = {}
+def run(
+    requests: int = 5, load: str = "B", jobs: Optional[int] = None
+) -> Dict[int, Dict[str, Dict[str, float]]]:
+    cells: List[ServeCell] = []
+    targets: Dict[int, Dict[str, float]] = {}
     for count in (4, 8):
         apps = multi_app_mix(count)
-        def bindings(apps=apps):
-            return bind_load(apps, load, requests=requests)
-
-        targets = iso_targets_us(bindings())
-        chosen = {name: INFERENCE_SYSTEMS[name] for name in _SYSTEMS}
-        results = serve_all(bindings, systems=chosen)
-        out[count] = {
-            name: {
-                "mean_ms": mean_latency_ms(result),
-                "deviation_ms": latency_deviation_us(result, targets) / 1000.0,
-            }
-            for name, result in results.items()
+        bindings = partial(bind_load, apps, load, requests=requests)
+        targets[count] = iso_targets_us(bindings())
+        for name in _SYSTEMS:
+            cells.append(
+                ServeCell(
+                    key=count,
+                    system=name,
+                    system_factory=INFERENCE_SYSTEMS[name],
+                    bindings_factory=bindings,
+                )
+            )
+    out: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for cell, result in zip(cells, run_cells(cells, jobs=jobs)):
+        out.setdefault(cell.key, {})[cell.system] = {
+            "mean_ms": mean_latency_ms(result),
+            "deviation_ms": latency_deviation_us(result, targets[cell.key]) / 1000.0,
         }
     return out
 
 
-def main() -> None:
-    data = run()
+def main(jobs: Optional[int] = None) -> None:
+    data = run(jobs=jobs)
     for count, systems in data.items():
         rows = [
             [name, f"{stats['mean_ms']:.2f}", f"{stats['deviation_ms']:.2f}"]

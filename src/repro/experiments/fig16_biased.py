@@ -41,7 +41,7 @@ def run(requests: int = 8, app2_model: str = "VGG") -> Dict[str, Dict[str, float
     return out
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     rows = [
         [

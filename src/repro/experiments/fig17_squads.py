@@ -52,7 +52,7 @@ def run(kernels_per_side: int = 25) -> Dict[str, Dict[str, float]]:
     return out
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     rows = []
     for pair, stats in data.items():

@@ -83,7 +83,7 @@ def run() -> Dict[str, object]:
     return {"quota_split": run_quota_split(), "training": run_training()}
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     part_a = data["quota_split"]
     rows = [

@@ -175,7 +175,7 @@ def run() -> Dict[str, object]:
     }
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     rows = [[str(k), f"{v:.2f}"] for k, v in data["squad_size_latency"].items()]
     print(format_table(["max kernels/squad", "avg latency (ms)"], rows,

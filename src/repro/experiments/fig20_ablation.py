@@ -71,7 +71,7 @@ def run_uneven_deviation(
     return {name: float(np.mean(values)) for name, values in sums.items()}
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     base = data["BLESS"]
     rows = [

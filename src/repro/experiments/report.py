@@ -7,6 +7,7 @@ paper-vs-measured digest — the live counterpart of EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import inspect
 import json
 import time
 from pathlib import Path
@@ -15,7 +16,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .common import format_table
 
 
-def _tab01() -> Tuple[str, str]:
+def _tab01(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .tab01_applications import run
 
     table = run()
@@ -27,7 +28,7 @@ def _tab01() -> Tuple[str, str]:
     return f"max duration error {worst:.2f} ms; kernel counts exact", "exact"
 
 
-def _fig01() -> Tuple[str, str]:
+def _fig01(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .fig01_bubbles import run
 
     data = run()
@@ -39,7 +40,7 @@ def _fig01() -> Tuple[str, str]:
     )
 
 
-def _fig09() -> Tuple[str, str]:
+def _fig09(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .fig09_interference import run
 
     data = run()
@@ -50,7 +51,7 @@ def _fig09() -> Tuple[str, str]:
     )
 
 
-def _fig10() -> Tuple[str, str]:
+def _fig10(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .fig10_predictors import run
 
     data = run(pairs=10)
@@ -61,12 +62,12 @@ def _fig10() -> Tuple[str, str]:
     )
 
 
-def _fig13() -> Tuple[str, str]:
+def _fig13(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .fig13_overall import run_inference, run_saturation
 
-    data = run_inference(requests=6)
+    data = run_inference(requests=6, jobs=jobs)
     reductions = data["reductions"]
-    sat = run_saturation(requests=6)
+    sat = run_saturation(requests=6, jobs=jobs)
     text = ", ".join(
         f"{name} {value:+.1%}" for name, value in reductions.items()
     )
@@ -76,7 +77,7 @@ def _fig13() -> Tuple[str, str]:
     )
 
 
-def _fig14() -> Tuple[str, str]:
+def _fig14(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .fig14_deviation import run_quick
 
     data = run_quick(requests=4)
@@ -84,10 +85,10 @@ def _fig14() -> Tuple[str, str]:
     return text, "TEMPORAL 14.3, GSLICE 2.1, BLESS 0.6 ms"
 
 
-def _fig15() -> Tuple[str, str]:
+def _fig15(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .fig15_multiapp import run
 
-    data = run(requests=3)
+    data = run(requests=3, jobs=jobs)
     return (
         f"4 apps: BLESS {1 - data[4]['BLESS']['mean_ms'] / data[4]['GSLICE']['mean_ms']:.0%} "
         f"vs GSLICE; 8 apps: "
@@ -96,7 +97,7 @@ def _fig15() -> Tuple[str, str]:
     )
 
 
-def _fig16() -> Tuple[str, str]:
+def _fig16(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .fig16_biased import run
 
     data = run(requests=5)
@@ -107,7 +108,7 @@ def _fig16() -> Tuple[str, str]:
     )
 
 
-def _fig17() -> Tuple[str, str]:
+def _fig17(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .fig17_squads import run
 
     data = run(kernels_per_side=20)
@@ -124,7 +125,7 @@ def _fig17() -> Tuple[str, str]:
     )
 
 
-def _sec65() -> Tuple[str, str]:
+def _sec65(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .sec65_slo import run
 
     data = run(requests=6)
@@ -132,7 +133,7 @@ def _sec65() -> Tuple[str, str]:
     return f"BLESS QoS violations <= {worst:.1%}", "0.6%"
 
 
-def _sec69() -> Tuple[str, str]:
+def _sec69(jobs: Optional[int] = None) -> Tuple[str, str]:
     from .sec69_overhead import run
 
     data = run(requests=3)
@@ -144,7 +145,7 @@ def _sec69() -> Tuple[str, str]:
     )
 
 
-REPORT_SECTIONS: List[Tuple[str, Callable[[], Tuple[str, str]]]] = [
+REPORT_SECTIONS: List[Tuple[str, Callable[..., Tuple[str, str]]]] = [
     ("Table 1", _tab01),
     ("Fig. 1", _fig01),
     ("Fig. 9", _fig09),
@@ -159,12 +160,19 @@ REPORT_SECTIONS: List[Tuple[str, Callable[[], Tuple[str, str]]]] = [
 ]
 
 
-def run(json_path: Optional[str] = None) -> Dict[str, Dict[str, str]]:
+def run(
+    json_path: Optional[str] = None, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, str]]:
     """Run every section; optionally dump the digest as JSON."""
     digest: Dict[str, Dict[str, str]] = {}
     for name, section in REPORT_SECTIONS:
         started = time.time()
-        measured, paper = section()
+        # Sections may be externally supplied (tests monkeypatch this
+        # list); only pass the worker count to those that accept it.
+        if "jobs" in inspect.signature(section).parameters:
+            measured, paper = section(jobs=jobs)
+        else:
+            measured, paper = section()
         digest[name] = {
             "measured": measured,
             "paper": paper,
@@ -175,8 +183,8 @@ def run(json_path: Optional[str] = None) -> Dict[str, Dict[str, str]]:
     return digest
 
 
-def main() -> None:
-    digest = run()
+def main(jobs: Optional[int] = None) -> None:
+    digest = run(jobs=jobs)
     rows = [
         [name, entry["measured"], entry["paper"]]
         for name, entry in digest.items()

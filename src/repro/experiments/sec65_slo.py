@@ -54,7 +54,7 @@ def run(requests: int = 10) -> Dict[str, Dict[str, float]]:
     }
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     systems = ["UNBOUND", "GSLICE", "BLESS"]
     rows = [

@@ -49,7 +49,7 @@ def run(requests: int = 6) -> Dict[str, float]:
     }
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     rows = [
         ["squad switch sync", f"{data['squad_sync_us']:.0f} us", "20 us"],

@@ -36,7 +36,7 @@ def run() -> Dict[str, Dict[str, Dict[str, float]]]:
     return table
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     table = run()
     for mode, models in table.items():
         rows: List[List[str]] = []

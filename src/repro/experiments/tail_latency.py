@@ -54,7 +54,7 @@ def run_quick(requests: int = 6) -> Dict[str, Dict[str, Dict[str, float]]]:
     return run(requests=requests, models=("R50",))
 
 
-def main() -> None:
+def main(jobs=None) -> None:
     data = run()
     for scenario, systems in data.items():
         rows = [

@@ -19,6 +19,29 @@ next completion time is exact — no time-stepping error.
 
 Memcpy kernels drain through the PCIe channel instead of the SM pool.
 SYNC kernels complete immediately when they reach the queue head.
+
+Hot-path design (see docs/performance.md)
+-----------------------------------------
+The event loop is the dominant cost of every figure reproduction, so
+the engine keeps three structural fast paths:
+
+* **ready-set dispatch** — queues register themselves in a dirty set
+  when a push, a completion, or a gap expiry makes their head
+  actionable; ``_dispatch`` examines only those queues instead of
+  scanning every queue on every event;
+* **rebalance gating + memoization** — rates are a pure function of the
+  *membership* of the running set (specs + contexts), so a rebalance is
+  skipped outright when membership did not change, and in the default
+  ``mode="vectorized"`` the allocation → slowdown → rate pipeline is
+  evaluated with numpy and memoized per membership signature.  The
+  original per-kernel path is kept behind ``mode="scalar"`` as the
+  byte-for-byte equivalence reference;
+* **lazy-cancel heap compaction** — cancelled events are dropped when
+  popped, and when they outnumber half the heap it is rebuilt in place.
+
+``SimEngine.counters`` exposes the event/rebalance/compaction tallies;
+serving harnesses surface them in ``ServingResult.extras`` under
+``engine_*``.
 """
 
 from __future__ import annotations
@@ -26,8 +49,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+import os
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from .device import GPUDevice
 from .hwsched import HardwareScheduler
@@ -39,13 +66,59 @@ from .context import GPUContext
 
 EventCallback = Callable[[], None]
 
+ENGINE_MODES = ("vectorized", "scalar", "legacy")
 
-@dataclass(order=True)
+# Heap-compaction policy: rebuild when cancelled events outnumber live
+# ones and there are enough of them to be worth an O(n) sweep.
+_COMPACT_MIN_CANCELLED = 64
+
+_NEVER_FINISHED = float("-inf")
+
+# Bound on the membership-signature -> rates memo (vectorized mode).
+_REBALANCE_CACHE_SIZE = 8192
+# Only track hit recency (LRU move-to-end) once the cache could
+# plausibly fill; below this nothing is evicted anyway.
+_REBALANCE_CACHE_TRACK = _REBALANCE_CACHE_SIZE // 2
+
+# Below this many active kernels a memo miss evaluates the (identical)
+# arithmetic with scalar ops: numpy array construction costs more than
+# it saves on 2-4 element sets, which dominate two-app serving.
+_VECTOR_MIN_ACTIVE = 8
+
+
+def default_engine_mode() -> str:
+    """The engine mode used when ``SimEngine(mode=None)``.
+
+    Controlled by ``REPRO_ENGINE_MODE`` (``vectorized`` | ``scalar`` |
+    ``legacy``) so test harnesses can flip every engine in a process
+    tree at once.  ``scalar`` keeps the structural fast paths but
+    evaluates rates per kernel; ``legacy`` additionally restores the
+    pre-overhaul full-queue scan and unconditional rebalance, as the
+    benchmark baseline.
+    """
+    mode = os.environ.get("REPRO_ENGINE_MODE", "vectorized")
+    if mode not in ENGINE_MODES:
+        raise ValueError(
+            f"REPRO_ENGINE_MODE must be one of {ENGINE_MODES}, got {mode!r}"
+        )
+    return mode
+
+
 class _Event:
-    time: float
-    seq: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(compare=False, default=False)
+    """A scheduled callback.  Heap entries are ``(time, seq, event)``
+    tuples so ordering never falls back to Python-level comparisons."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: EventCallback):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"_Event(t={self.time:.3f}, seq={self.seq}{state})"
 
 
 @dataclass
@@ -72,32 +145,78 @@ class SimEngine:
         record_timeline: bool = False,
         hw_policy: str = "fair",
         validate: bool = False,
+        mode: Optional[str] = None,
+        timeline_capacity: int = 65536,
     ):
         self.device = device or GPUDevice()
         self.interference = interference or InterferenceModel()
         self.hwsched = HardwareScheduler(policy=hw_policy)
+        if mode is None:
+            mode = default_engine_mode()
+        if mode not in ENGINE_MODES:
+            raise ValueError(f"engine mode must be one of {ENGINE_MODES}, got {mode!r}")
+        self.mode = mode
+        self._legacy = mode == "legacy"
         # Debug mode: assert physical invariants on every rebalance
         # (allocation feasibility, rate bounds, work conservation).
         self.validate = validate
+        # Decided once: every constituent is fixed at construction.
+        self._fast_rates = (
+            mode == "vectorized" and not validate and self.hwsched.policy == "fair"
+        )
         self.pcie = PCIeChannel()
         self.now = 0.0
-        self._heap: List[_Event] = []
+        self._heap: List[Tuple[float, int, _Event]] = []
         self._event_seq = itertools.count()
+        self._cancelled_in_heap = 0
         self._queues: List[DeviceQueue] = []
         self._queue_of: Dict[int, DeviceQueue] = {}  # kernel uid -> queue
-        self._gap_events: Dict[int, float] = {}  # queue id -> pending wake time
+        # queue id -> (pending wake time, its event) for gapped heads
+        self._gap_events: Dict[int, Tuple[float, _Event]] = {}
+        # Ready set: queues whose head may have become actionable since
+        # the last dispatch (push / completion / gap expiry).
+        self._dirty_queues: Dict[int, DeviceQueue] = {}
         self._running_compute: List[KernelInstance] = []
         self._running_memcpy: List[KernelInstance] = []
+        # Context of each running kernel, aligned with _running_compute
+        # (avoids per-rebalance queue lookups on the fast path).
+        self._running_ctx: List[GPUContext] = []
+        # Incrementally-maintained membership signature, aligned with
+        # _running_compute: context_id and spec token packed into one
+        # int (cheap tuple hashing on the memoized rebalance path).
+        # Contexts are immutable and specs frozen, so the pair pins down
+        # everything the allocation/interference pipeline reads.
+        self._sig_parts: List[int] = []
+        self._spec_tokens: Dict[int, int] = {}  # id(spec) -> token
+        self._spec_refs: List[object] = []  # keep specs alive: ids stay unique
+        # True whenever the running-set membership changed since the
+        # last rebalance; rates are a pure function of membership, so a
+        # clean flag means the previous rates (and the pending
+        # completion event) are still exact.
+        self._running_dirty = False
         self._completion_event: Optional[_Event] = None
         self._finish_subscribers: List[Callable[[KernelInstance], None]] = []
         self._per_kernel_callbacks: Dict[int, Callable[[KernelInstance], None]] = {}
+        # Memoized membership-signature -> (fractions, rates, busy).
+        self._rebalance_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         # Utilization accounting: integral of busy SM fraction over time.
         self._busy_integral = 0.0
         self._busy_since = 0.0
         self._current_busy_fraction = 0.0
         self.record_timeline = record_timeline
-        self.timeline: List[TimelineSegment] = []
+        self.timeline: Union[List[TimelineSegment], Deque[TimelineSegment]] = (
+            deque(maxlen=timeline_capacity) if record_timeline else []
+        )
+        self._pending_segment: Optional[TimelineSegment] = None
         self._kernels_completed = 0
+        # Hot-path diagnostics (surfaced as ServingResult engine_* extras).
+        self._events_processed = 0
+        self._rebalances = 0
+        self._rebalances_skipped = 0
+        self._rebalance_cache_hits = 0
+        self._heap_compactions = 0
+        self._peak_heap_size = 0
+        self._gap_events_superseded = 0
 
     # ------------------------------------------------------------------
     # Queue / context management
@@ -119,15 +238,48 @@ class SimEngine:
         if delay < 0:
             raise ValueError(f"cannot schedule event in the past (delay={delay})")
         event = _Event(self.now + delay, next(self._event_seq), callback)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        if len(self._heap) > self._peak_heap_size:
+            self._peak_heap_size = len(self._heap)
         return event
 
     def schedule_at(self, time: float, callback: EventCallback) -> _Event:
-        return self.schedule(max(0.0, time - self.now), callback)
+        # Inlined schedule(max(0.0, time - now)) — same arithmetic, so
+        # event times stay bit-identical, without the extra call.
+        now = self.now
+        delay = time - now
+        if delay < 0.0:
+            delay = 0.0
+        event = _Event(now + delay, next(self._event_seq), callback)
+        heap = self._heap
+        heapq.heappush(heap, (event.time, event.seq, event))
+        if len(heap) > self._peak_heap_size:
+            self._peak_heap_size = len(heap)
+        return event
 
-    @staticmethod
-    def cancel(event: _Event) -> None:
+    def cancel(self, event: _Event) -> None:
+        """Lazy-cancel: the event is dropped when popped, or swept out
+        by compaction once cancelled events dominate the heap."""
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._heap_compactions += 1
+
+    @property
+    def heap_size(self) -> int:
+        """Current heap length, cancelled entries included (tests)."""
+        return len(self._heap)
 
     # ------------------------------------------------------------------
     # Kernel launch / completion
@@ -152,6 +304,51 @@ class SimEngine:
         def make_visible() -> None:
             queue.push(kernel, self.now)
             self._queue_of[kernel.uid] = queue
+            self._mark_ready(queue)
+            self._dispatch()
+
+        if launch_overhead > 0:
+            self.schedule(launch_overhead, make_visible)
+        else:
+            make_visible()
+
+    def launch_batch(
+        self,
+        kernels: List[KernelInstance],
+        queue: DeviceQueue,
+        launch_overhead: Optional[float] = None,
+        callbacks: Optional[List[Optional[Callable[[KernelInstance], None]]]] = None,
+    ) -> None:
+        """Launch several kernels into one queue at once.
+
+        Equivalent to calling :meth:`launch` per kernel — the host
+        issues the whole burst back to back, so all kernels become
+        visible at ``now + launch_overhead`` in list order — but with a
+        single visibility event instead of one per kernel.
+        ``callbacks``, when given, is aligned with ``kernels`` (``None``
+        entries for kernels without an ``on_finish``).
+        """
+        if not kernels:
+            return
+        if self._legacy:
+            # Baseline behavior: one event per kernel.
+            for position, kernel in enumerate(kernels):
+                on_finish = callbacks[position] if callbacks else None
+                self.launch(kernel, queue, launch_overhead, on_finish)
+            return
+        if launch_overhead is None:
+            launch_overhead = self.device.spec.kernel_launch_us
+        if callbacks:
+            for kernel, callback in zip(kernels, callbacks):
+                if callback is not None:
+                    self._per_kernel_callbacks[kernel.uid] = callback
+
+        def make_visible() -> None:
+            queue_of = self._queue_of
+            for kernel in kernels:
+                queue.push(kernel, self.now)
+                queue_of[kernel.uid] = queue
+            self._mark_ready(queue)
             self._dispatch()
 
         if launch_overhead > 0:
@@ -166,10 +363,106 @@ class SimEngine:
     # ------------------------------------------------------------------
     # Execution state machine
     # ------------------------------------------------------------------
+    def _mark_ready(self, queue: DeviceQueue) -> None:
+        """Register ``queue`` for the next dispatch pass."""
+        self._dirty_queues[queue.queue_id] = queue
+
     def _dispatch(self) -> None:
-        """Start head kernels of all queues that are idle, then rebalance."""
+        """Start head kernels of ready queues, then rebalance if needed.
+
+        Only queues in the dirty set are examined; a queue enters the
+        set when a push, a completion in the queue, or a gap expiry may
+        have made its head actionable.  SYNC kernels complete
+        immediately and re-mark their queue, so the loop drains until
+        heads are stable — same fixpoint as the historical full scan,
+        without touching idle queues.
+        """
+        if self._legacy:
+            self._dispatch_legacy()
+            return
         started = False
-        # SYNC kernels complete immediately; loop until heads are stable.
+        progressing = False
+        dirty = self._dirty_queues
+        # The clock only advances in the event loop, never inside a
+        # dispatch pass, so ``now`` is loop-invariant here.
+        now = self.now
+        horizon = now + 1e-9
+        while dirty:
+            # Creation order mirrors the historical full-scan order.
+            if len(dirty) == 1:
+                batch = (dirty.popitem()[1],)
+            else:
+                batch = [dirty.pop(qid) for qid in sorted(dirty)]
+            for queue in batch:
+                # Inline queue.head()/head_ready_at()/start_head() —
+                # this is the hottest loop in the engine.  The guards
+                # match head(): skip busy or empty queues.
+                pending = queue._pending
+                if queue._running is not None or not pending:
+                    continue
+                head = pending[0]
+                spec = head.spec
+                last_finish = queue.last_finish_time
+                if last_finish != _NEVER_FINISHED:
+                    ready_at = last_finish + spec.dispatch_gap_us
+                    if ready_at > horizon:
+                        # Intra-request bubble: the host has not
+                        # dispatched the next kernel yet; wake up when
+                        # it does.
+                        self._ensure_gap_event(queue, ready_at)
+                        continue
+                pending.popleft()
+                head.start_time = now
+                queue._running = head
+                # Annotate execution context for tracers (the queue
+                # mapping is gone by completion-callback time).
+                context = queue.context
+                head.traced_context_id = context.context_id
+                head.traced_context_limit = context.sm_limit
+                kind = spec.kind
+                if kind is KernelKind.SYNC or spec.base_duration_us == 0:
+                    self._complete_kernel(queue, head)
+                    progressing = True
+                elif kind is KernelKind.COMPUTE:
+                    self._add_running(head, context)
+                    started = True
+                else:  # H2D / D2H drain through the PCIe channel.
+                    self._running_memcpy.append(head)
+                    self._running_dirty = True
+                    started = True
+        if started or progressing:
+            # _maybe_rebalance, inlined (legacy never reaches here).
+            if self._running_dirty or self.record_timeline or self.validate:
+                self._rebalance()
+            else:
+                self._rebalances_skipped += 1
+                if self._completion_event is None and (
+                    self._running_compute or self._running_memcpy
+                ):
+                    self._accrue_busy_time()
+                    self._schedule_next_completion()
+
+    def _add_running(self, kernel: KernelInstance, ctx: GPUContext) -> None:
+        spec = kernel.spec
+        token = self._spec_tokens.get(id(spec))
+        if token is None:
+            token = len(self._spec_tokens)
+            self._spec_tokens[id(spec)] = token
+            self._spec_refs.append(spec)
+        self._running_compute.append(kernel)
+        self._running_ctx.append(ctx)
+        # Tokens stay below 2**32, so the packed int is collision-free.
+        self._sig_parts.append((ctx.context_id << 32) | token)
+        self._running_dirty = True
+
+    def _dispatch_legacy(self) -> None:
+        """Pre-overhaul dispatch: full O(queues) scan per event.
+
+        Kept (with the historical while-progressing fixpoint loop) as
+        the ``legacy`` benchmark baseline.
+        """
+        self._dirty_queues.clear()
+        started = False
         progressing = True
         while progressing:
             progressing = False
@@ -179,13 +472,9 @@ class SimEngine:
                     continue
                 ready_at = queue.head_ready_at()
                 if ready_at is not None and ready_at > self.now + 1e-9:
-                    # Intra-request bubble: the host has not dispatched
-                    # the next kernel yet; wake up when it does.
                     self._ensure_gap_event(queue, ready_at)
                     continue
                 kernel = queue.start_head(self.now)
-                # Annotate execution context for tracers (the queue
-                # mapping is gone by completion-callback time).
                 kernel.traced_context_id = queue.context.context_id
                 kernel.traced_context_limit = queue.context.sm_limit
                 if kernel.spec.kind is KernelKind.SYNC or kernel.spec.base_duration_us == 0:
@@ -193,32 +482,146 @@ class SimEngine:
                     progressing = True
                 elif kernel.spec.is_memcpy:
                     self._running_memcpy.append(kernel)
+                    self._running_dirty = True
                     started = True
                 else:
-                    self._running_compute.append(kernel)
+                    self._add_running(kernel, queue.context)
                     started = True
         if started or progressing:
             self._rebalance()
 
     def _ensure_gap_event(self, queue: DeviceQueue, ready_at: float) -> None:
-        """Schedule (once) a dispatch retry when a queue's gap expires."""
+        """Schedule (once) a dispatch retry when a queue's gap expires.
+
+        If an earlier-or-equal wake is already pending it is reused; a
+        pending *later* wake (possible when a queue's head changes under
+        preemption, e.g. REEF killing buffered kernels) is cancelled
+        rather than left to fire stale.
+        """
         pending = self._gap_events.get(queue.queue_id)
-        if pending is not None and pending <= ready_at + 1e-9:
-            return
-        self._gap_events[queue.queue_id] = ready_at
+        if pending is not None:
+            pending_time, pending_event = pending
+            if pending_time <= ready_at + 1e-9:
+                return
+            # A tighter gap supersedes the pending wake: cancel it so the
+            # heap does not accumulate stale expiries.
+            self.cancel(pending_event)
+            self._gap_events_superseded += 1
 
         def expire() -> None:
-            if self._gap_events.get(queue.queue_id) == ready_at:
+            entry = self._gap_events.get(queue.queue_id)
+            if entry is not None and entry[0] == ready_at:
                 del self._gap_events[queue.queue_id]
+            self._mark_ready(queue)
             self._dispatch()
-            self._rebalance()
+            # A gap expiry alone never changes the running set; only a
+            # dispatch that starts work does, and _dispatch rebalances
+            # then.  Legacy keeps its unconditional rebalance per event.
+            if self._legacy:
+                self._rebalance()
 
-        self.schedule_at(ready_at, expire)
+        event = self.schedule_at(ready_at, expire)
+        self._gap_events[queue.queue_id] = (ready_at, event)
+
+    def _maybe_rebalance(self) -> None:
+        """Rebalance only when the running-set membership changed.
+
+        Rates depend solely on membership (specs + contexts), so with an
+        unchanged set the previous rates — and the pending completion
+        event — are still exact, and the whole allocation/interference
+        pipeline can be skipped.  Timeline recording and validate mode
+        force the full path to preserve their per-event semantics.
+        """
+        if (
+            self._running_dirty
+            or self._legacy
+            or self.record_timeline
+            or self.validate
+        ):
+            self._rebalance()
+            return
+        self._rebalances_skipped += 1
+        if self._completion_event is None and (
+            self._running_compute or self._running_memcpy
+        ):
+            # The previous completion tick consumed its event without
+            # finishing anything (epsilon miss): re-arm from current
+            # remaining work.
+            self._accrue_busy_time()
+            self._schedule_next_completion()
 
     def _rebalance(self) -> None:
-        """Recompute rates for all running kernels and the next completion."""
-        self._accrue_busy_time()
+        """Recompute rates for all running kernels and the next completion.
 
+        The fast (vectorized) branch applies memoized rates and computes
+        the earliest completion inline, so the completion event can be
+        re-armed without a second pass over the running set.  Recency is
+        only tracked once the memo is half full — below that nothing
+        will be evicted, so ``move_to_end`` on every hit would be pure
+        overhead.
+        """
+        self._rebalances += 1
+        if self.now > self._busy_since:
+            self._accrue_busy_time()
+
+        if self._fast_rates:
+            key = tuple(self._sig_parts)
+            cache = self._rebalance_cache
+            cached = cache.get(key)
+            if cached is not None:
+                self._rebalance_cache_hits += 1
+                if len(cache) >= _REBALANCE_CACHE_TRACK:
+                    cache.move_to_end(key)
+                fractions, rates, busy = cached
+            else:
+                fractions, rates, busy = self._compute_rates_vectorized()
+                cache[key] = (fractions, rates, busy)
+                if len(cache) > _REBALANCE_CACHE_SIZE:
+                    cache.popitem(last=False)
+
+            now = self.now
+            eta = math.inf
+            for kernel, sm, rate in zip(self._running_compute, fractions, rates):
+                kernel.current_sm_fraction = sm
+                kernel.current_rate = rate
+                if rate > 0:
+                    finish = now + kernel.remaining_work / rate
+                    if finish < eta:
+                        eta = finish
+            self._current_busy_fraction = busy
+
+            # Memcpy kernels share the PCIe channel (same as scalar).
+            if self._running_memcpy:
+                pcie_rates = self.pcie.rates(self._running_memcpy)
+                for kernel in self._running_memcpy:
+                    rate = pcie_rates.get(kernel.uid, 0.0)
+                    kernel.current_rate = rate
+                    kernel.current_sm_fraction = 0.0
+                    if rate > 0:
+                        finish = now + kernel.remaining_work / rate
+                        if finish < eta:
+                            eta = finish
+
+            self._running_dirty = False
+            if self.record_timeline:
+                self._record_segment_start()
+            if self._completion_event is not None:
+                self.cancel(self._completion_event)
+                self._completion_event = None
+            if eta != math.inf:
+                self._completion_event = self.schedule_at(
+                    eta, self._on_completion_tick
+                )
+            return
+
+        self._rebalance_scalar()
+        self._running_dirty = False
+        if self.record_timeline:
+            self._record_segment_start()
+        self._schedule_next_completion()
+
+    # -- reference (scalar) path ---------------------------------------
+    def _rebalance_scalar(self) -> None:
         # Compute-kernel SM allocation.
         allocations = self.hwsched.allocate(self._running_compute, self._queue_of)
         active = [a for a in allocations if a.sm_fraction > 0]
@@ -257,8 +660,115 @@ class SimEngine:
             kernel.current_rate = pcie_rates.get(kernel.uid, 0.0)
             kernel.current_sm_fraction = 0.0
 
-        self._record_segment_start()
-        self._schedule_next_completion()
+    # -- vectorized + memoized path ------------------------------------
+    def _membership_signature(self) -> tuple:
+        """Key of the running set's rate-relevant state.
+
+        Maintained incrementally in ``_sig_parts``: per running kernel
+        its ``context_id`` and spec token packed into one int.  The
+        engine (and so the cache) lives for one serve, contexts are
+        immutable, and specs frozen — the pair pins down every quantity
+        the allocation/interference pipeline reads, including ordering.
+        """
+        return tuple(self._sig_parts)
+
+    def _compute_rates_vectorized(
+        self,
+    ) -> Tuple[Tuple[float, ...], Tuple[float, ...], float]:
+        """Allocation → slowdown → rate as array ops over the running set.
+
+        Reproduces ``_rebalance_scalar`` byte for byte: the water-filling
+        allocation follows the identical iteration and reduction order
+        (its arithmetic is inherently sequential), while the
+        interference slowdowns and SM-scaling rates — the per-kernel
+        arithmetic — are evaluated as numpy element-wise kernels.
+        Returns per-kernel SM fractions and rates aligned with
+        ``_running_compute``, plus the busy fraction.
+        """
+        running = self._running_compute
+        contexts = self._running_ctx
+        n = len(running)
+        if n == 0:
+            return (), (), 0.0
+
+        # SM allocation as (running-index, grant) pairs in the hardware
+        # scheduler's allocation order (priority level desc, then
+        # context first-appearance order) — bit-identical arithmetic to
+        # HardwareScheduler.allocate.
+        pairs = self.hwsched.allocate_fair_indexed(running, contexts)
+
+        # Active subset (sm > 0) in allocation order, exactly the
+        # scalar path's `active` list and its busy-fraction reduction.
+        busy = 0.0
+        active = []
+        for index, grant in pairs:
+            if grant > 0:
+                busy += grant
+                active.append((index, grant))
+
+        fractions = [0.0] * n
+        rates = [0.0] * n
+        if len(active) >= _VECTOR_MIN_ACTIVE:
+            specs = [running[i].spec for i, _ in active]
+            mem = np.array([s.mem_intensity for s in specs], dtype=np.float64)
+            restricted = np.fromiter(
+                (contexts[i].restricted for i, _ in active), dtype=bool, count=len(active)
+            )
+            grants = np.array([g for _, g in active], dtype=np.float64)
+            demand = np.array([s.sm_demand for s in specs], dtype=np.float64)
+            base = np.array([s.base_duration_us for s in specs], dtype=np.float64)
+            serial = np.array([s.serial_fraction for s in specs], dtype=np.float64)
+
+            slowdowns = self.interference.slowdowns_array(mem, restricted)
+
+            # KernelSpec.duration_at / rate_at, element-wise.
+            usable = np.minimum(grants, demand)
+            sm_slowdown = demand / usable
+            duration = base * (serial + (1.0 - serial) * sm_slowdown)
+            rate = base / duration / slowdowns
+
+            rate_list = rate.tolist()
+            for pos, (index, grant) in enumerate(active):
+                fractions[index] = grant
+                rates[index] = rate_list[pos]
+        elif active:
+            # Same arithmetic, scalar ops (identical IEEE rounding; the
+            # element-wise numpy kernels apply the same operations in
+            # the same order, so both branches agree bit for bit).
+            model = self.interference
+            # Explicit loops: same left-to-right accumulation as the
+            # sum() builtins they replace, without the genexpr frames.
+            total_intensity = 0.0
+            num_unrestricted = 0
+            for i, _ in active:
+                total_intensity = total_intensity + running[i].spec.mem_intensity
+                if not contexts[i].restricted:
+                    num_unrestricted += 1
+            kappa_unrestricted = model.kappa_unrestricted
+            kappa_restricted = model.kappa_restricted
+            gamma = model.gamma
+            max_slowdown = model.max_slowdown
+            for index, grant in active:
+                spec = running[index].spec
+                m = spec.mem_intensity
+                pressure = min(1.0, max(0.0, total_intensity - m))
+                scattered = not contexts[index].restricted and num_unrestricted >= 2
+                kappa = kappa_unrestricted if scattered else kappa_restricted
+                slowdown = min(
+                    max_slowdown,
+                    1.0 + kappa * (pressure ** gamma) * min(1.0, m),
+                )
+                # spec.rate_at(grant) / slowdown, inlined.
+                demand = spec.sm_demand
+                serial = spec.serial_fraction
+                base = spec.base_duration_us
+                duration = base * (
+                    serial + (1.0 - serial) * (demand / min(grant, demand))
+                )
+                fractions[index] = grant
+                rates[index] = base / duration / slowdown
+
+        return tuple(fractions), tuple(rates), min(1.0, busy)
 
     def _check_invariants(self, allocations) -> None:
         """Debug-mode physical invariants (``validate=True``).
@@ -298,58 +808,84 @@ class SimEngine:
             self.cancel(self._completion_event)
             self._completion_event = None
         best_time = math.inf
-        for kernel in itertools.chain(self._running_compute, self._running_memcpy):
-            if kernel.current_rate <= 0:
+        now = self.now
+        for kernel in self._running_compute:
+            rate = kernel.current_rate
+            if rate <= 0:
                 continue
-            eta = self.now + kernel.remaining_work / kernel.current_rate
+            eta = now + kernel.remaining_work / rate
+            if eta < best_time:
+                best_time = eta
+        for kernel in self._running_memcpy:
+            rate = kernel.current_rate
+            if rate <= 0:
+                continue
+            eta = now + kernel.remaining_work / rate
             if eta < best_time:
                 best_time = eta
         if math.isfinite(best_time):
             self._completion_event = self.schedule_at(best_time, self._on_completion_tick)
 
-    def _advance_work(self, to_time: float) -> None:
-        dt = to_time - self._busy_since
-        if dt <= 0:
-            return
-        for kernel in itertools.chain(self._running_compute, self._running_memcpy):
-            kernel.remaining_work = max(0.0, kernel.remaining_work - kernel.current_rate * dt)
-
-    def _finish_epsilon(self, kernel: KernelInstance) -> float:
-        """Work threshold below which a kernel counts as finished.
-
-        Completion times are floats; at large simulated times the
-        residual work after advancing can be ~ulp(now) * rate and would
-        never drain (the next event would round to the same instant).
-        Treat anything the kernel would clear within ~1 ulp of `now`
-        (floored at a picosecond) as done.
-        """
-        time_eps = max(1e-9, 4.0 * math.ulp(self.now))
-        return max(1e-9, kernel.current_rate * time_eps)
-
     def _on_completion_tick(self) -> None:
         # Advances work to `now`, accrues utilization, resets _busy_since
         # so the later _rebalance does not double-count the interval.
+        self._completion_event = None
         self._accrue_busy_time()
-        finished = [
-            k
-            for k in itertools.chain(self._running_compute, self._running_memcpy)
-            if k.remaining_work <= self._finish_epsilon(k)
-        ]
-        for kernel in finished:
-            queue = self._queue_of[kernel.uid]
-            if kernel in self._running_compute:
-                self._running_compute.remove(kernel)
-            else:
-                self._running_memcpy.remove(kernel)
-            self._complete_kernel(queue, kernel)
+        # Finish threshold: completion times are floats; at large
+        # simulated times the residual work after advancing can be
+        # ~ulp(now) * rate and would never drain (the next event would
+        # round to the same instant).  Treat anything the kernel would
+        # clear within ~1 ulp of `now` (floored at a picosecond) as done.
+        time_eps = max(1e-9, 4.0 * math.ulp(self.now))
+        running_compute = self._running_compute
+        finished_compute = []
+        for k in running_compute:
+            threshold = k.current_rate * time_eps
+            if k.remaining_work <= (threshold if threshold > 1e-9 else 1e-9):
+                finished_compute.append(k)
+        finished_memcpy = []
+        if self._running_memcpy:
+            for k in self._running_memcpy:
+                threshold = k.current_rate * time_eps
+                if k.remaining_work <= (threshold if threshold > 1e-9 else 1e-9):
+                    finished_memcpy.append(k)
+        for kernel in finished_compute:
+            index = running_compute.index(kernel)
+            del running_compute[index]
+            del self._running_ctx[index]
+            del self._sig_parts[index]
+            self._running_dirty = True
+            self._complete_kernel(self._queue_of[kernel.uid], kernel)
+        for kernel in finished_memcpy:
+            self._running_memcpy.remove(kernel)
+            self._running_dirty = True
+            self._complete_kernel(self._queue_of[kernel.uid], kernel)
         self._dispatch()
-        self._rebalance()
+        # _maybe_rebalance, inlined: membership is dirty here unless
+        # the dispatch above already rebalanced (or the tick was an
+        # epsilon miss, which the re-arm branch repairs).
+        if self._running_dirty or self._legacy or self.record_timeline or self.validate:
+            self._rebalance()
+        else:
+            self._rebalances_skipped += 1
+            if self._completion_event is None and (
+                self._running_compute or self._running_memcpy
+            ):
+                self._accrue_busy_time()
+                self._schedule_next_completion()
 
     def _complete_kernel(self, queue: DeviceQueue, kernel: KernelInstance) -> None:
-        queue.finish_running(self.now)
+        # queue.finish_running + _mark_ready, inlined (hot: once per
+        # kernel).  The queue invariably holds `kernel` as its running
+        # entry here — dispatch and the completion sweep guarantee it.
+        now = self.now
+        kernel.finish_time = now
+        queue._running = None
+        queue.last_finish_time = now
         kernel.remaining_work = 0.0
         self._queue_of.pop(kernel.uid, None)
         self._kernels_completed += 1
+        self._dirty_queues[queue.queue_id] = queue
         callback = self._per_kernel_callbacks.pop(kernel.uid, None)
         if callback is not None:
             callback(kernel)
@@ -360,17 +896,23 @@ class SimEngine:
     # Utilization accounting
     # ------------------------------------------------------------------
     def _accrue_busy_time(self) -> None:
-        # Advance remaining work to 'now' before rates change.
-        self._advance_work(self.now)
-        dt = self.now - self._busy_since
+        # Advance remaining work to 'now' before rates change
+        # (_advance_work inlined: this runs on every event).
+        now = self.now
+        dt = now - self._busy_since
         if dt > 0:
+            for kernel in self._running_compute:
+                left = kernel.remaining_work - kernel.current_rate * dt
+                kernel.remaining_work = left if left > 0.0 else 0.0
+            for kernel in self._running_memcpy:
+                left = kernel.remaining_work - kernel.current_rate * dt
+                kernel.remaining_work = left if left > 0.0 else 0.0
             self._busy_integral += self._current_busy_fraction * dt
-            self._record_segment_end()
-        self._busy_since = self.now
+            if self.record_timeline:
+                self._record_segment_end()
+            self._busy_since = now
 
     def _record_segment_start(self) -> None:
-        if not self.record_timeline:
-            return
         running = {}
         for kernel in itertools.chain(self._running_compute, self._running_memcpy):
             running[kernel.uid] = (
@@ -381,9 +923,7 @@ class SimEngine:
         self._pending_segment = TimelineSegment(start=self.now, end=self.now, running=running)
 
     def _record_segment_end(self) -> None:
-        if not self.record_timeline:
-            return
-        segment = getattr(self, "_pending_segment", None)
+        segment = self._pending_segment
         if segment is None or segment.start >= self.now:
             return
         segment.end = self.now
@@ -413,18 +953,36 @@ class SimEngine:
     def running_kernels(self) -> List[KernelInstance]:
         return list(itertools.chain(self._running_compute, self._running_memcpy))
 
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Hot-path diagnostics for this engine's lifetime."""
+        return {
+            "events_processed": self._events_processed,
+            "rebalances": self._rebalances,
+            "rebalances_skipped": self._rebalances_skipped,
+            "rebalance_cache_hits": self._rebalance_cache_hits,
+            "heap_compactions": self._heap_compactions,
+            "peak_heap_size": self._peak_heap_size,
+            "gap_events_superseded": self._gap_events_superseded,
+        }
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process the next event; returns False when nothing is left."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, event = heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            if event.time < self.now - 1e-9:
+            now = self.now
+            if time < now - 1e-9:
                 raise RuntimeError("event in the past — engine invariant broken")
-            self.now = max(self.now, event.time)
+            if time > now:
+                self.now = time
+            self._events_processed += 1
             event.callback()
             return True
         return False
@@ -432,9 +990,17 @@ class SimEngine:
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until the event queue drains (or ``until`` is reached)."""
         events = 0
+        if until is None:
+            # Unbounded run: no per-event peek at the heap top.
+            while self.step():
+                events += 1
+                if events >= max_events:
+                    raise RuntimeError(f"simulation exceeded {max_events} events")
+            self._accrue_busy_time()
+            return self.now
         while self._heap:
-            next_time = self._heap[0].time
-            if until is not None and next_time > until:
+            next_time = self._heap[0][0]
+            if next_time > until:
                 self._accrue_busy_time_at(until)
                 self.now = until
                 return self.now

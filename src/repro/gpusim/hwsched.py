@@ -23,8 +23,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
+from .context import GPUContext
 from .kernel import KernelInstance
 from .stream import DeviceQueue
 
@@ -60,6 +61,44 @@ def waterfill(demands: Sequence[float], capacity: float) -> List[float]:
             remaining = 0.0
             active = []
     return alloc
+
+
+def _waterfill_small(demands: Sequence[float], capacity: float) -> List[float]:
+    """:func:`waterfill` with inlined one- and two-demand fast paths.
+
+    One kernel in a context, one context at a priority level, or two
+    co-running contexts cover nearly every allocation the engine asks
+    for; the general loop reduces to exactly this arithmetic for
+    ``n <= 2`` (same operations in the same order, so the results are
+    bit-identical).
+    """
+    n = len(demands)
+    if n == 1:
+        if capacity <= 1e-12:
+            return [0.0]
+        demand = demands[0]
+        return [demand] if demand <= capacity + 1e-15 else [capacity]
+    if n == 2:
+        if capacity <= 1e-12:
+            return [0.0, 0.0]
+        d0 = demands[0]
+        d1 = demands[1]
+        share = capacity / 2
+        bar = share + 1e-15
+        if d0 <= bar:
+            if d1 <= bar:
+                return [d0, d1]
+            remaining = capacity - d0
+            if remaining > 1e-12:
+                return [d0, d1] if d1 <= remaining + 1e-15 else [d0, remaining]
+            return [d0, 0.0]
+        if d1 <= bar:
+            remaining = capacity - d1
+            if remaining > 1e-12:
+                return [d0, d1] if d0 <= remaining + 1e-15 else [remaining, d1]
+            return [0.0, d1]
+        return [share, share]
+    return waterfill(demands, capacity)
 
 
 class HardwareScheduler:
@@ -110,6 +149,131 @@ class HardwareScheduler:
             free -= grant
             allocations.append(Allocation(kernel=kernel, sm_fraction=grant))
         return allocations
+
+    def allocate_fair_indexed(
+        self,
+        running: Sequence[KernelInstance],
+        contexts: Sequence[GPUContext],
+    ) -> List[Tuple[int, float]]:
+        """Fair allocation as ``(running_index, grant)`` pairs.
+
+        Object-free variant of :meth:`allocate` for the engine's
+        vectorized rebalance: ``contexts[i]`` is the context of
+        ``running[i]``, and the returned pairs follow the identical
+        allocation order (priority level descending, then context
+        first-appearance order, then running order within a context)
+        with bit-identical arithmetic to ``_allocate_fair``.
+        """
+        # Dominant shape: every kernel in its own context, one priority
+        # level (one queue per app, one head kernel running each).  The
+        # general grouping below then degenerates to a single
+        # water-fill over the per-context wants; replicate exactly that
+        # arithmetic without the dict plumbing.
+        n = len(contexts)
+        if n == 1:
+            # Lone running kernel: the two-pass water-fill degenerates
+            # to clamping its demand by the context limit and the GPU
+            # (grant expressions mirror the general path bit for bit).
+            cap = contexts[0].sm_limit
+            if cap <= 1e-12:
+                return [(0, 0.0)]
+            demand = running[0].spec.sm_demand
+            want = demand if demand <= cap + 1e-15 else cap
+            if want <= 0.0:
+                return [(0, 0.0)]
+            if want <= 1.0 + 1e-15:
+                return [(0, want)]
+            return [(0, want * (1.0 / want))]
+        if n <= 6:
+            if n == 2:
+                c0, c1 = contexts
+                singleton = (
+                    c0.priority == c1.priority and c0.context_id != c1.context_id
+                )
+            else:
+                first_priority = contexts[0].priority
+                singleton = True
+                seen_ids = set()
+                for ctx in contexts:
+                    if ctx.priority != first_priority or ctx.context_id in seen_ids:
+                        singleton = False
+                        break
+                    seen_ids.add(ctx.context_id)
+            if singleton:
+                wants: List[float] = []
+                for index, ctx in enumerate(contexts):
+                    cap = ctx.sm_limit
+                    if cap <= 1e-12:
+                        wants.append(0.0)
+                    else:
+                        demand = running[index].spec.sm_demand
+                        wants.append(demand if demand <= cap + 1e-15 else cap)
+                fills = _waterfill_small(wants, 1.0)
+                pairs = []
+                for index, (want, fill) in enumerate(zip(wants, fills)):
+                    scale = fill / want if want > 0 else 0.0
+                    pairs.append((index, want * scale))
+                return pairs
+
+        # Group kernels by context in first-appearance order; note on
+        # the way whether a second priority level exists (rare).
+        by_context: Dict[int, List[int]] = {}
+        limits: Dict[int, float] = {}
+        priorities: Dict[int, int] = {}
+        single_level = True
+        first_priority: int = 0
+        for index, ctx in enumerate(contexts):
+            cid = ctx.context_id
+            group = by_context.get(cid)
+            if group is None:
+                by_context[cid] = [index]
+                limits[cid] = ctx.sm_limit
+                priority = ctx.priority
+                priorities[cid] = priority
+                if len(priorities) == 1:
+                    first_priority = priority
+                elif priority != first_priority:
+                    single_level = False
+            else:
+                group.append(index)
+
+        pairs: List[Tuple[int, float]] = []
+        capacity = 1.0
+        if single_level:
+            levels = [first_priority] if priorities else []
+        else:
+            levels = sorted(set(priorities.values()), reverse=True)
+        for level in levels:
+            if single_level:
+                level_cids = list(by_context)
+            else:
+                level_cids = [c for c, p in priorities.items() if p == level]
+
+            # Pass 1: split each context's limit among its kernels.
+            per_kernel_want: Dict[int, float] = {}
+            context_want: Dict[int, float] = {}
+            for cid in level_cids:
+                indices = by_context[cid]
+                fills = _waterfill_small(
+                    [running[i].spec.sm_demand for i in indices], limits[cid]
+                )
+                for index, fill in zip(indices, fills):
+                    per_kernel_want[index] = fill
+                context_want[cid] = sum(fills)
+
+            # Pass 2: water-fill this level's contexts over what's left.
+            ctx_fills = _waterfill_small(
+                [context_want[c] for c in level_cids], capacity
+            )
+            for cid, fill in zip(level_cids, ctx_fills):
+                want = context_want[cid]
+                scale = fill / want if want > 0 else 0.0
+                for index in by_context[cid]:
+                    grant = per_kernel_want[index] * scale
+                    capacity -= grant
+                    pairs.append((index, grant))
+            capacity = max(0.0, capacity)
+        return pairs
 
     def _allocate_fair(
         self,

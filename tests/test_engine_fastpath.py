@@ -1,0 +1,260 @@
+"""Engine fast-path features added by the hot-path overhaul.
+
+Covers: engine modes (legacy/scalar/vectorized equivalence), batched
+kernel launch, the gap-event supersede fix (stale events must be
+cancelled, not leaked into the heap), lazy-cancel heap compaction, the
+bounded timeline ring buffer, and the surfaced engine counters.
+"""
+
+import pytest
+
+from repro.gpusim.context import ContextRegistry
+from repro.gpusim.device import GPUDevice, GPUSpec
+from repro.gpusim.engine import ENGINE_MODES, SimEngine, default_engine_mode
+from repro.gpusim.kernel import KernelInstance, KernelSpec
+
+
+def make_engine(**kwargs):
+    engine = SimEngine(device=GPUDevice(GPUSpec()), **kwargs)
+    registry = ContextRegistry(engine.device)
+    return engine, registry
+
+
+def compute(name="k", dur=100.0, demand=0.8, mem=0.0, gap=0.0):
+    return KernelSpec(
+        name=name, base_duration_us=dur, sm_demand=demand,
+        mem_intensity=mem, dispatch_gap_us=gap,
+    )
+
+
+def run_mixed_workload(mode):
+    """Three contexts, mixed demands/gaps; returns (finish order, times)."""
+    engine, registry = make_engine(mode=mode)
+    queues = [
+        engine.create_queue(registry.create(f"app{i}", 0.4, charge_memory=False))
+        for i in range(3)
+    ]
+    finished = []
+    for qi, queue in enumerate(queues):
+        kernels = [
+            KernelInstance(
+                compute(
+                    name=f"q{qi}k{ki}",
+                    dur=20.0 + 7.0 * ki + 3.0 * qi,
+                    demand=0.3 + 0.1 * ki,
+                    mem=0.2 * qi,
+                    gap=2.0 if ki % 2 else 0.0,
+                )
+            )
+            for ki in range(5)
+        ]
+        callbacks = [
+            (lambda k: finished.append((k.name, engine.now))) for _ in kernels
+        ]
+        engine.launch_batch(kernels, queue, callbacks=callbacks)
+    engine.run()
+    return finished, engine.now
+
+
+class TestEngineModes:
+    def test_default_mode(self):
+        assert default_engine_mode() in ENGINE_MODES
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_MODE", "scalar")
+        assert default_engine_mode() == "scalar"
+
+    def test_unknown_env_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_MODE", "warp9")
+        with pytest.raises(ValueError):
+            default_engine_mode()
+
+    def test_unknown_ctor_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine(mode="warp9")
+
+    def test_modes_bit_identical(self):
+        reference, ref_now = run_mixed_workload("legacy")
+        for mode in ("scalar", "vectorized"):
+            finished, now = run_mixed_workload(mode)
+            assert finished == reference, f"mode {mode} diverged"
+            assert now == ref_now
+
+
+class TestLaunchBatch:
+    def test_batch_equivalent_to_single_launches(self):
+        specs = [compute(name=f"k{i}", dur=10.0 + i) for i in range(4)]
+
+        engine_a, registry_a = make_engine()
+        queue_a = engine_a.create_queue(
+            registry_a.create("a", 1.0, charge_memory=False)
+        )
+        order_a = []
+        for spec in specs:
+            engine_a.launch(
+                KernelInstance(spec), queue_a,
+                on_finish=lambda k: order_a.append((k.name, engine_a.now)),
+            )
+        engine_a.run()
+
+        engine_b, registry_b = make_engine()
+        queue_b = engine_b.create_queue(
+            registry_b.create("a", 1.0, charge_memory=False)
+        )
+        order_b = []
+        engine_b.launch_batch(
+            [KernelInstance(spec) for spec in specs],
+            queue_b,
+            callbacks=[
+                (lambda k: order_b.append((k.name, engine_b.now)))
+                for _ in specs
+            ],
+        )
+        engine_b.run()
+
+        assert order_b == order_a
+        assert engine_b.now == engine_a.now
+        # One visibility event instead of one per kernel.
+        assert engine_b.counters["events_processed"] < engine_a.counters[
+            "events_processed"
+        ]
+
+    def test_empty_batch_is_noop(self):
+        engine, registry = make_engine()
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        engine.launch_batch([], queue)
+        assert engine.heap_size == 0
+        engine.run()
+        assert engine.now == 0.0
+
+    def test_partial_callbacks(self):
+        engine, registry = make_engine()
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        hits = []
+        kernels = [KernelInstance(compute(name=f"k{i}", dur=5.0)) for i in range(3)]
+        engine.launch_batch(
+            kernels, queue, callbacks=[None, None, lambda k: hits.append(k.name)]
+        )
+        engine.run()
+        assert hits == ["k2"]
+
+
+class TestGapEventSupersede:
+    def test_superseded_wake_is_cancelled(self):
+        """Regression: a later pending wake must not leak when a tighter
+        gap replaces it — the stale event is cancelled in the heap."""
+        engine, registry = make_engine()
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        engine._ensure_gap_event(queue, 100.0)
+        assert engine.heap_size == 1
+        engine._ensure_gap_event(queue, 50.0)
+        # Two entries (one cancelled), one live wake at t=50.
+        assert engine.heap_size == 2
+        assert engine.counters["gap_events_superseded"] == 1
+        assert engine._cancelled_in_heap == 1
+        engine.run()
+        assert engine.now == pytest.approx(50.0)
+
+    def test_earlier_pending_wake_is_reused(self):
+        engine, registry = make_engine()
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        engine._ensure_gap_event(queue, 50.0)
+        engine._ensure_gap_event(queue, 100.0)
+        assert engine.heap_size == 1
+        assert engine.counters["gap_events_superseded"] == 0
+
+    def test_repeated_supersede_does_not_grow_heap_unboundedly(self):
+        engine, registry = make_engine()
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        deadline = 100_000.0
+        for step in range(500):
+            engine._ensure_gap_event(queue, deadline - step)
+        # Compaction keeps the heap near the live-event count instead of
+        # accumulating one stale wake per supersede.
+        assert engine.heap_size < 200
+        assert engine.counters["heap_compactions"] >= 1
+        assert engine.counters["gap_events_superseded"] == 499
+
+
+class TestHeapCompaction:
+    def test_compaction_sweeps_cancelled_events(self):
+        engine, _ = make_engine()
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            engine.cancel(event)
+        assert engine.counters["heap_compactions"] >= 1
+        assert engine.heap_size < 200
+        assert engine.counters["peak_heap_size"] == 200
+
+    def test_below_threshold_keeps_lazy_entries(self):
+        engine, _ = make_engine()
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(40)]
+        for event in events[:20]:
+            engine.cancel(event)
+        assert engine.counters["heap_compactions"] == 0
+        assert engine.heap_size == 40
+
+    def test_cancelled_events_do_not_fire(self):
+        engine, _ = make_engine()
+        fired = []
+        keep = engine.schedule(10.0, lambda: fired.append("keep"))
+        drop = engine.schedule(5.0, lambda: fired.append("drop"))
+        engine.cancel(drop)
+        engine.run()
+        assert fired == ["keep"]
+        assert keep is not None
+
+
+class TestTimelineRingBuffer:
+    def test_disabled_timeline_stays_empty(self):
+        engine, registry = make_engine(record_timeline=False)
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        engine.launch_batch(
+            [KernelInstance(compute(dur=5.0)) for _ in range(10)], queue
+        )
+        engine.run()
+        assert list(engine.timeline) == []
+
+    def test_capacity_bounds_recorded_segments(self):
+        engine, registry = make_engine(record_timeline=True, timeline_capacity=8)
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        for _ in range(30):
+            engine.launch(KernelInstance(compute(dur=5.0, gap=1.0)), queue)
+        engine.run()
+        assert 0 < len(engine.timeline) <= 8
+
+
+class TestCountersSurfaced:
+    def test_serving_result_carries_engine_counters(self):
+        from repro.baselines.gslice import GSLICESystem
+        from repro.apps.models import inference_app
+        from repro.workloads.suite import bind_load
+
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="app1"),
+            inference_app("VGG").with_quota(0.5, app_id="app2"),
+        ]
+        result = GSLICESystem().serve(bind_load(apps, "A", requests=2))
+        for key in (
+            "engine_events_processed",
+            "engine_rebalances",
+            "engine_rebalances_skipped",
+            "engine_heap_compactions",
+            "engine_peak_heap_size",
+            "engine_gap_events_superseded",
+        ):
+            assert key in result.extras, key
+        assert result.extras["engine_events_processed"] > 0
+        assert result.extras["engine_rebalances"] > 0
+
+    def test_mig_sums_engine_counters_across_slices(self):
+        from repro.baselines.mig_system import MIGSystem
+        from repro.apps.models import inference_app
+        from repro.workloads.suite import bind_load
+
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="app1"),
+            inference_app("VGG").with_quota(0.5, app_id="app2"),
+        ]
+        result = MIGSystem().serve(bind_load(apps, "A", requests=2))
+        assert result.extras["engine_events_processed"] > 0

@@ -1,0 +1,141 @@
+"""Process-parallel experiment runner: determinism and golden output.
+
+The harness fans independent (system, workload-binding) cells across a
+``ProcessPoolExecutor``; because every cell rebuilds its workload from
+its own seed inside the worker and results merge in submission order,
+``jobs=N`` must be *byte-identical* to ``jobs=1``.  Also pins the
+``--jobs 1`` output of fig13 to a golden capture from the pre-overhaul
+engine, proving the fast path changed nothing observable.
+"""
+
+import json
+from functools import partial
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.models import MODEL_NAMES, inference_app
+from repro.experiments.common import (
+    INFERENCE_SYSTEMS,
+    ServeCell,
+    resolve_jobs,
+    run_cells,
+    serve_all,
+)
+from repro.workloads.suite import bind_load
+
+GOLDEN = Path(__file__).parent / "golden" / "fig13_inference_small.json"
+
+
+def result_fingerprint(result):
+    """Everything observable about a ServingResult, fully ordered.
+
+    ``request_id`` is excluded: it comes from a process-global counter,
+    so only its relative order (already captured by record order) is
+    meaningful across runs.
+    """
+    return (
+        result.system,
+        result.makespan_us,
+        result.utilization,
+        tuple((r.app_id, r.arrival, r.finish) for r in result.records),
+        tuple(sorted(result.extras.items())),
+    )
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+class TestParallelDeterminism:
+    @settings(max_examples=4, deadline=None)
+    @given(
+        model_a=st.sampled_from(MODEL_NAMES),
+        model_b=st.sampled_from(MODEL_NAMES),
+        load=st.sampled_from(["A", "B"]),
+        requests=st.integers(min_value=1, max_value=2),
+        quota=st.sampled_from([0.3, 0.5, 0.7]),
+    )
+    def test_parallel_equals_serial(self, model_a, model_b, load, requests, quota):
+        apps = [
+            inference_app(model_a).with_quota(quota, app_id="app1"),
+            inference_app(model_b).with_quota(1.0 - quota, app_id="app2"),
+        ]
+        bindings = partial(bind_load, apps, load, requests=requests)
+        systems = {
+            "GSLICE": INFERENCE_SYSTEMS["GSLICE"],
+            "BLESS": INFERENCE_SYSTEMS["BLESS"],
+        }
+        serial = serve_all(bindings, systems=systems, jobs=1)
+        parallel = serve_all(bindings, systems=systems, jobs=4)
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert result_fingerprint(serial[name]) == result_fingerprint(
+                parallel[name]
+            ), name
+
+    def test_same_seed_repeatable(self):
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="app1"),
+            inference_app("VGG").with_quota(0.5, app_id="app2"),
+        ]
+        bindings = partial(bind_load, apps, "B", requests=2)
+        first = serve_all(bindings, jobs=1)
+        second = serve_all(bindings, jobs=1)
+        for name in first:
+            assert result_fingerprint(first[name]) == result_fingerprint(
+                second[name]
+            )
+
+    def test_run_cells_preserves_order(self):
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="app1"),
+            inference_app("R50").with_quota(0.5, app_id="app2"),
+        ]
+        bindings = partial(bind_load, apps, "A", requests=1)
+        cells = [
+            ServeCell(
+                key=index,
+                system=name,
+                system_factory=INFERENCE_SYSTEMS[name],
+                bindings_factory=bindings,
+            )
+            for index, name in enumerate(["BLESS", "GSLICE", "TEMPORAL"])
+        ]
+        results = run_cells(cells, jobs=3)
+        assert [r.system for r in results] == ["BLESS", "GSLICE", "TEMPORAL"]
+
+
+class TestGoldenFig13:
+    def test_jobs1_output_matches_pre_overhaul_capture(self):
+        """`python -m repro fig13 --jobs 1` (small) vs current main."""
+        from repro.experiments.fig13_overall import run_inference
+
+        data = run_inference(requests=3, loads=("A",), jobs=1)
+        # Round-trip through JSON so float repr matches the capture.
+        measured = json.loads(json.dumps(data, sort_keys=True))
+        golden = json.loads(GOLDEN.read_text())
+        assert measured == golden
+
+    def test_parallel_matches_golden_too(self):
+        from repro.experiments.fig13_overall import run_inference
+
+        data = run_inference(requests=3, loads=("A",), jobs=2)
+        measured = json.loads(json.dumps(data, sort_keys=True))
+        golden = json.loads(GOLDEN.read_text())
+        assert measured == golden

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and append a dated performance snapshot.
+
+Executes ``pytest benchmarks/`` with ``pytest-benchmark``'s JSON output,
+then distils each benchmark into a compact record — wall-time stats plus
+any ``extra_info`` the benchmark attached (the perf benchmarks report
+their measured speedup ratios there) — and appends the batch to
+``BENCH_<date>.json`` in the output directory.  Appending (rather than
+overwriting) builds a same-day trajectory: run it before and after a
+change and diff the two entries.
+
+Usage:
+    python tools/bench_trajectory.py [--output-dir DIR] [-k EXPR]
+
+CI wires this into the bench-smoke job and uploads the snapshot as an
+artifact, so every push leaves a queryable perf trail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_benchmarks(select: str, pytest_args: list) -> dict:
+    """Run the suite, return the parsed pytest-benchmark JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "benchmarks.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/",
+            "-q",
+            "--benchmark-disable-gc",
+            f"--benchmark-json={raw_path}",
+        ]
+        if select:
+            cmd += ["-k", select]
+        cmd += pytest_args
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+        return json.loads(raw_path.read_text())
+
+
+def distil(raw: dict) -> dict:
+    """Reduce pytest-benchmark output to one trajectory entry."""
+    entry = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "machine": raw.get("machine_info", {}).get("node", ""),
+        "python": raw.get("machine_info", {}).get("python_version", ""),
+        "benchmarks": [],
+    }
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        entry["benchmarks"].append(
+            {
+                "name": bench.get("name", ""),
+                "wall_s": {
+                    "min": stats.get("min"),
+                    "mean": stats.get("mean"),
+                    "max": stats.get("max"),
+                    "rounds": stats.get("rounds"),
+                },
+                # Speedup ratios etc. reported by the benchmark itself.
+                "extra_info": bench.get("extra_info", {}),
+            }
+        )
+    return entry
+
+
+def append_snapshot(entry: dict, output_dir: Path) -> Path:
+    """Append ``entry`` to today's ``BENCH_<date>.json`` trajectory."""
+    output_dir.mkdir(parents=True, exist_ok=True)
+    date = datetime.date.today().isoformat()
+    path = output_dir / f"BENCH_{date}.json"
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return path
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory receiving BENCH_<date>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "-k",
+        "--select",
+        default="",
+        help="pytest -k expression to run a subset of the benchmarks",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest verbatim",
+    )
+    args = parser.parse_args(argv)
+
+    raw = run_benchmarks(args.select, args.pytest_args)
+    entry = distil(raw)
+    path = append_snapshot(entry, args.output_dir)
+    names = ", ".join(b["name"] for b in entry["benchmarks"]) or "none"
+    print(f"appended {len(entry['benchmarks'])} benchmark(s) [{names}] to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,15 @@ from .core import (
     OfflineProfiler,
     check_admission,
 )
-from .gpusim import GPUDevice, GPUSpec, KernelKind, KernelSpec, SimEngine
+from .gpusim import (
+    FaultPlan,
+    GPUDevice,
+    GPUSpec,
+    KernelKind,
+    KernelSpec,
+    SimEngine,
+    resolve_fault_plan,
+)
 from .metrics import (
     ServingResult,
     latency_deviation_us,
@@ -68,6 +76,7 @@ __all__ = [
     "BlessConfig",
     "BlessRuntime",
     "check_admission",
+    "FaultPlan",
     "GPUDevice",
     "GPUSpec",
     "GSLICESystem",
@@ -85,6 +94,7 @@ __all__ = [
     "QUOTAS_2MODEL",
     "REEFPlusSystem",
     "Request",
+    "resolve_fault_plan",
     "ServingResult",
     "SharingSystem",
     "SimEngine",

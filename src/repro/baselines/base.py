@@ -16,12 +16,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..apps.application import Application, Request
-from ..gpusim.context import ContextRegistry
+from ..gpusim.context import ContextRegistry, GPUContext
 from ..gpusim.device import GPUDevice, GPUSpec
 from ..gpusim.engine import SimEngine
+from ..gpusim.faults import FaultInjector, FaultPlan, resolve_fault_plan
 from ..gpusim.kernel import KernelInstance
 from ..gpusim.stream import DeviceQueue
-from ..metrics.stats import RequestRecord, ServingResult
+from ..metrics.stats import FaultStats, RequestRecord, ServingResult
 from ..workloads.arrivals import ArrivalProcess, TraceReplay, OneShot
 from ..workloads.suite import WorkloadBinding
 
@@ -58,11 +59,17 @@ class SharingSystem(abc.ABC):
         record_timeline: bool = False,
         hw_policy: str = "fair",
         validate: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.gpu_spec = gpu_spec or GPUSpec()
         self.record_timeline = record_timeline
         self.hw_policy = hw_policy
         self.validate = validate
+        # Fault injection: an explicit plan wins; otherwise the
+        # REPRO_FAULT_PLAN / REPRO_FAULT_SEED environment (None = off).
+        self.fault_plan = fault_plan if fault_plan is not None else resolve_fault_plan()
+        self.fault_injector: Optional[FaultInjector] = None
+        self.fault_stats = FaultStats()
         # Populated per serve() call:
         self.engine: SimEngine
         self.registry: ContextRegistry
@@ -71,6 +78,9 @@ class SharingSystem(abc.ABC):
         self._inflight = 0
         self._inflight_windows: List[Tuple[float, float]] = []
         self._window_start = 0.0
+        self._requests_arrived = 0
+        self._request_timeout_us: Optional[float] = None
+        self._timeout_events: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Policy hooks
@@ -86,6 +96,65 @@ class SharingSystem(abc.ABC):
     def on_request_finished(self, client: ClientState, request: Request) -> None:
         """Optional hook after a request completes (default: no-op)."""
 
+    def on_request_shed(self, client: ClientState, request: Request) -> None:
+        """Optional hook after a request is shed (failure/timeout)."""
+
+    def on_context_crash(
+        self, context: GPUContext, killed: List[Tuple[KernelInstance, object]]
+    ) -> None:
+        """Degradation hook for an injected MPS-context crash.
+
+        ``killed`` holds the torn-down kernels with their per-kernel
+        callbacks, in queue order.  The default recovery recreates an
+        equivalent context + queue, repoints client attachments at it,
+        and relaunches the killed kernels after a context switch —
+        systems with richer context bookkeeping (BLESS) override this.
+        """
+        replacement = self.registry.create(
+            owner=context.owner,
+            sm_limit=context.sm_limit,
+            label=context.label or "recovered",
+            priority=context.priority,
+        )
+        queue = self.engine.create_queue(
+            replacement, label=f"{context.owner}/recovered"
+        )
+        client = self.clients.get(context.owner)
+        if client is not None:
+            for key, value in list(client.attachments.items()):
+                if isinstance(value, DeviceQueue) and value.context is context:
+                    client.attachments[key] = queue
+        self.relaunch_killed(killed, queue)
+
+    def relaunch_killed(
+        self,
+        killed: List[Tuple[KernelInstance, object]],
+        queue: DeviceQueue,
+    ) -> int:
+        """Re-issue killed kernels as fresh instances on ``queue``.
+
+        Preserves launch order and per-kernel callbacks; charged one
+        context-switch delay.  Returns the number of relaunched kernels.
+        """
+        if not killed:
+            return 0
+        kernels = [
+            KernelInstance(
+                spec=dead.spec,
+                app_id=dead.app_id,
+                request_id=dead.request_id,
+                seq=dead.seq,
+            )
+            for dead, _ in killed
+        ]
+        callbacks = [callback for _, callback in killed]
+        self.fault_stats.degraded_relaunches += len(kernels)
+        self.engine.schedule(
+            self.engine.device.spec.context_switch_us,
+            lambda: self.engine.launch_batch(kernels, queue, callbacks=callbacks),
+        )
+        return len(kernels)
+
     # ------------------------------------------------------------------
     # Serving loop
     # ------------------------------------------------------------------
@@ -93,17 +162,35 @@ class SharingSystem(abc.ABC):
         """Serve a workload to completion; returns the measured result."""
         if not bindings:
             raise ValueError("cannot serve an empty workload")
+        plan = self.fault_plan
+        if plan is not None and plan.active:
+            self.fault_stats = FaultStats()
+            self.fault_injector = FaultInjector(plan, stats=self.fault_stats)
+            self._request_timeout_us = plan.request_timeout_us
+        else:
+            self.fault_injector = None
+            self._request_timeout_us = None
         self.engine = SimEngine(
             device=GPUDevice(self.gpu_spec),
             record_timeline=self.record_timeline,
             hw_policy=self.hw_policy,
             validate=self.validate,
+            fault_injector=self.fault_injector,
         )
         self.registry = ContextRegistry(self.engine.device)
         self.clients = {}
         self._result = ServingResult(system=self.name)
         self._inflight = 0
         self._inflight_windows = []
+        self._requests_arrived = 0
+        self._timeout_events = {}
+        if self.fault_injector is not None:
+            self.engine.subscribe_failure(self._on_kernel_failure)
+            for ordinal, crash_time in enumerate(plan.context_crash_times):
+                self.engine.schedule_at(
+                    crash_time,
+                    lambda ordinal=ordinal: self._inject_context_crash(ordinal),
+                )
 
         for binding in bindings:
             app = binding.app
@@ -126,6 +213,15 @@ class SharingSystem(abc.ABC):
         self._result.utilization = self.engine.utilization()
         for key, value in self.engine.counters.items():
             self._result.extras[f"engine_{key}"] = float(value)
+        if self.fault_injector is not None:
+            stats = self.fault_stats
+            stats.transient_retries = self.engine.kernels_retried
+            stats.permanent_failures = self.engine.kernels_failed
+            stats.kernels_killed = self.engine.kernels_killed
+            self._result.extras.update(stats.as_dict(prefix="fault_"))
+            self._result.extras["fault_requests_arrived"] = float(
+                self._requests_arrived
+            )
         return self._result
 
     # ------------------------------------------------------------------
@@ -139,6 +235,12 @@ class SharingSystem(abc.ABC):
         request = Request(app=client.app, arrival_time=now)
         client.pending.append(request)
         self._inflight_enter()
+        self._requests_arrived += 1
+        if self._request_timeout_us is not None:
+            self._timeout_events[request.request_id] = self.engine.schedule(
+                self._request_timeout_us,
+                lambda: self._on_request_timeout(client, request),
+            )
         if _is_open_loop(client.process):
             nxt = client.process.next_arrival(now, now)
             if nxt is not None:
@@ -157,11 +259,17 @@ class SharingSystem(abc.ABC):
         """Systems call this when the active request's last kernel ends."""
         request = client.active
         if request is None:
+            if self.fault_injector is not None:
+                # A completion raced a shed/crash teardown: the request
+                # is already gone.  Count it instead of crashing the run.
+                self.fault_stats.stale_completions += 1
+                return
             raise RuntimeError(f"no active request for {client.app_id}")
         now = self.engine.now
         request.finish_time = now
         client.active = None
         client.completed += 1
+        self._cancel_timeout(request)
         self._result.add(
             RequestRecord(
                 app_id=client.app_id,
@@ -177,6 +285,98 @@ class SharingSystem(abc.ABC):
             if nxt is not None:
                 self._schedule_arrival(client, nxt)
         self._activate_next(client)
+
+    # ------------------------------------------------------------------
+    # Fault handling: shedding, timeouts, context crashes
+    # ------------------------------------------------------------------
+    def _cancel_timeout(self, request: Request) -> None:
+        event = self._timeout_events.pop(request.request_id, None)
+        if event is not None:
+            self.engine.cancel(event)
+
+    def _on_kernel_failure(self, kernel: KernelInstance) -> None:
+        """A kernel failed permanently: shed the owning request."""
+        client = self.clients.get(kernel.app_id)
+        if client is None:
+            return
+        request = client.active
+        if request is not None and request.request_id == kernel.request_id:
+            self._shed_request(client, request, timeout=False)
+        # A failure for a non-active request means it was already shed
+        # (its stragglers are zombies); nothing further to do.
+
+    def _on_request_timeout(self, client: ClientState, request: Request) -> None:
+        self._timeout_events.pop(request.request_id, None)
+        if request.done:
+            return
+        if client.active is request:
+            self._shed_request(client, request, timeout=True)
+        elif request in client.pending:
+            client.pending.remove(request)
+            self._account_shed(client, request, timeout=True)
+            self._activate_next(client)
+
+    def _shed_request(
+        self, client: ClientState, request: Request, timeout: bool
+    ) -> None:
+        """Abort the active request: kill its kernels, keep serving.
+
+        Killed kernels' callbacks still fire (marked ``failed``) so
+        batch/squad accounting in the policy layers drains; identity
+        guards there skip the usual completion handling because
+        ``client.active`` has already moved on.
+        """
+        killed = self.engine.kill_request(client.app_id, request.request_id)
+        client.active = None
+        self._account_shed(client, request, timeout=timeout)
+        for kernel, callback in killed:
+            if callback is not None:
+                callback(kernel)
+        self._activate_next(client)
+        self.on_request_shed(client, request)
+
+    def _account_shed(
+        self, client: ClientState, request: Request, timeout: bool
+    ) -> None:
+        now = self.engine.now
+        if timeout:
+            self.fault_stats.shed_timeout += 1
+        else:
+            self.fault_stats.shed_failed += 1
+        self._cancel_timeout(request)
+        self._inflight_exit()
+        # A closed-loop client keeps issuing requests after a shed, the
+        # same way it would after a completion.
+        if not _is_open_loop(client.process):
+            nxt = client.process.next_arrival(request.arrival_time, now)
+            if nxt is not None:
+                self._schedule_arrival(client, nxt)
+
+    # Retry cadence when a crash fires before any MPS context exists
+    # (BLESS creates restricted contexts lazily at the first spatial
+    # squad, which may be well after the scheduled crash time).
+    _CRASH_RETRY_US = 1_000.0
+
+    def _inject_context_crash(self, ordinal: int) -> None:
+        """Scheduled by serve() for each FaultPlan.context_crash_times."""
+        victims = [c for c in self.registry.contexts if c.restricted]
+        if not victims:
+            if self._inflight > 0:
+                # Defer until a restricted context exists; give up only
+                # once the run has drained.
+                self.engine.schedule(
+                    self._CRASH_RETRY_US,
+                    lambda: self._inject_context_crash(ordinal),
+                )
+            else:
+                self.fault_stats.context_crashes_skipped += 1
+            return
+        victims.sort(key=lambda c: c.context_id)
+        victim = victims[self.fault_injector.pick_index(len(victims), ordinal)]
+        killed = self.engine.kill_context(victim)
+        self.registry.destroy(victim)
+        self.fault_stats.context_crashes += 1
+        self.on_context_crash(victim, killed)
 
     def _inflight_enter(self) -> None:
         if self._inflight == 0:
@@ -215,7 +415,11 @@ class SharingSystem(abc.ABC):
             raise RuntimeError(f"no active request for {client.app_id}")
         total = request.total_kernels
 
-        def on_last(_k, c=client):
+        def on_last(k, c=client):
+            if k.failed:
+                # Killed with its request (shed/crash) — the shed path
+                # already accounted for it.
+                return
             self.finish_request(c)
 
         kernels = [request.make_kernel(index) for index in range(total)]

@@ -35,7 +35,7 @@ class ISOSystem(SharingSystem):
         makespan = 0.0
         busy = 0.0
         for binding in bindings:
-            sub = GSLICESystem(gpu_spec=self.gpu_spec)
+            sub = GSLICESystem(gpu_spec=self.gpu_spec, fault_plan=self.fault_plan)
             result = sub.serve([binding])
             merged.records.extend(result.records)
             makespan = max(makespan, result.makespan_us)

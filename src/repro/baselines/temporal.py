@@ -113,7 +113,8 @@ class TemporalSystem(SharingSystem):
     def _on_batch_done(self, client: ClientState, kernel, slice_end: float) -> None:
         request = client.active
         if (
-            request is not None
+            not kernel.failed
+            and request is not None
             and kernel.request_id == request.request_id
             and kernel.seq == request.total_kernels - 1
         ):

@@ -57,6 +57,12 @@ class ZicoSystem(SharingSystem):
             self.engine.launch_batch(kernels, queue, callbacks=callbacks)
         request.next_kernel = end
 
+    def on_request_shed(self, client: ClientState, request) -> None:
+        # A shed waiter must not leave its co-runners stuck at the
+        # phase barrier.
+        client.attachments["waiting"] = False
+        self._pump_barrier()
+
     def _on_segment_done(self, client: ClientState, kernel) -> None:
         request = client.active
         if request is None or kernel.request_id != request.request_id:

@@ -80,18 +80,28 @@ def cmd_serve(args) -> int:
     if unknown:
         print(f"unknown systems: {unknown}; choose from {list(INFERENCE_SYSTEMS)}")
         return 2
+    from .gpusim.faults import resolve_fault_plan
+
+    fault_plan = resolve_fault_plan(args.fault_plan, args.fault_seed)
+    if fault_plan is not None:
+        print(f"fault plan: {fault_plan.describe()}")
     results = []
     latencies = {}
     for name in args.systems:
-        system = INFERENCE_SYSTEMS[name]()
+        system = INFERENCE_SYSTEMS[name](fault_plan=fault_plan)
         result = system.serve(bind_load(apps, args.load, requests=args.requests))
         results.append(result)
         latencies[name] = result.mean_of_app_means() / 1000.0
         per_app = ", ".join(
             f"{a}={v / 1000:.2f}ms" for a, v in result.per_app_mean_latency().items()
         )
-        print(f"{name:9s} avg {latencies[name]:7.2f} ms  "
-              f"util {result.utilization:5.1%}  [{per_app}]")
+        line = (f"{name:9s} avg {latencies[name]:7.2f} ms  "
+                f"util {result.utilization:5.1%}  [{per_app}]")
+        if fault_plan is not None:
+            shed = result.extras.get("fault_shed_requests", 0.0)
+            degraded = result.extras.get("fault_degradation_events", 0.0)
+            line += f"  shed={shed:.0f} degradation={degraded:.0f}"
+        print(line)
     print()
     print(bar_chart(latencies, title=f"average latency, load {args.load}",
                     highlight="BLESS" if "BLESS" in latencies else None))
@@ -197,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--training", action="store_true")
     p.add_argument("--output", help="save results JSON here")
+    p.add_argument(
+        "--fault-plan",
+        help="inject faults, e.g. 'failure=0.05,crash=4000,seed=7' "
+        "(default: the REPRO_FAULT_PLAN environment variable)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int,
+        help="override the fault plan's seed (REPRO_FAULT_SEED)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("profile", help="offline-profile one application")

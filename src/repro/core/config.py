@@ -70,6 +70,13 @@ class BlessConfig:
     # Per-app QoS targets in us (§6.5).  When set for an app, the
     # scheduler paces it against this target instead of its ISO latency.
     slo_targets_us: Optional[Dict[str, float]] = None
+    # Profile-drift watchdog: when a squad's measured duration exceeds
+    # its prediction by this ratio for ``profile_stale_patience``
+    # consecutive squads, the offline profiles are declared stale and
+    # the runtime falls back to the quota-proportional configuration
+    # (the degraded mode that needs no trustworthy estimates).
+    profile_stale_ratio: float = 1.5
+    profile_stale_patience: int = 3
 
     def __post_init__(self) -> None:
         if self.num_partitions < 2:
@@ -90,6 +97,10 @@ class BlessConfig:
             )
         if self.config_cache_size < 1:
             raise ValueError("config_cache_size must be >= 1")
+        if self.profile_stale_ratio <= 1.0:
+            raise ValueError("profile_stale_ratio must exceed 1.0")
+        if self.profile_stale_patience < 1:
+            raise ValueError("profile_stale_patience must be >= 1")
 
     @property
     def scheduling_us_per_kernel(self) -> float:

@@ -19,10 +19,12 @@ cached; each creation charges the ~230 MB MPS context memory (§6.9).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..gpusim.context import ContextRegistry
+from ..gpusim.context import ContextRegistry, GPUContext
+from ..gpusim.device import OutOfMemoryError
 from ..gpusim.engine import SimEngine
 from ..gpusim.kernel import KernelInstance
 from ..gpusim.stream import DeviceQueue
@@ -64,31 +66,80 @@ class ConcurrentKernelManager:
         self.registry = registry
         self.config = config
         self._default_queue: Dict[str, DeviceQueue] = {}
-        self._restricted_queue: Dict[Tuple[str, int], DeviceQueue] = {}
+        # Ordered oldest-used-first so context eviction is LRU.
+        self._restricted_queue: "OrderedDict[Tuple[str, int], DeviceQueue]" = (
+            OrderedDict()
+        )
         self.context_switches = 0
+        self.context_evictions = 0
+        self.context_crashes = 0
+        self.oom_fallbacks = 0
+        self.peak_context_memory_mb = 0
 
     # ------------------------------------------------------------------
     # Context/queue management
     # ------------------------------------------------------------------
-    def register_client(self, app_id: str) -> None:
-        """Create the client's default (unrestricted) context and queue."""
-        if app_id in self._default_queue:
-            raise ValueError(f"client {app_id!r} already registered")
+    def register_client(self, app_id: str) -> DeviceQueue:
+        """Create the client's default (unrestricted) context and queue.
+
+        Idempotent: re-registering an already-known client (e.g. while
+        recovering from a context crash) returns the existing default
+        queue instead of raising, so recovery paths can call it without
+        tracking registration state.
+        """
+        queue = self._default_queue.get(app_id)
+        if queue is not None and not queue.dead:
+            return queue
         context = self.registry.create(
             owner=app_id, sm_limit=1.0, label="default", charge_memory=False
         )
-        self._default_queue[app_id] = self.engine.create_queue(
-            context, label=f"{app_id}/default"
-        )
+        queue = self.engine.create_queue(context, label=f"{app_id}/default")
+        self._default_queue[app_id] = queue
+        return queue
 
     def default_queue(self, app_id: str) -> DeviceQueue:
         return self._default_queue[app_id]
+
+    @property
+    def context_memory_mb(self) -> int:
+        """Device memory currently held by cached restricted contexts."""
+        return len(self._restricted_queue) * self.engine.device.spec.mps_context_mb
+
+    def _ensure_context_memory(self) -> None:
+        """Make room for one more restricted (MPS) context.
+
+        Each restricted context pins ~``mps_context_mb`` of device
+        memory (§6.9), so an unbounded (client, partition) cache can
+        exhaust the GPU.  When the pool cannot fit another context,
+        idle cached contexts are evicted least-recently-used first; if
+        none is idle the caller gets a clear ``OutOfMemoryError``
+        instead of the raw allocator message.
+        """
+        spec = self.engine.device.spec
+        memory = self.engine.device.memory
+        if memory.free_mb >= spec.mps_context_mb:
+            return
+        for key, queue in list(self._restricted_queue.items()):
+            if not queue.empty:
+                continue  # kernels in flight — not evictable
+            del self._restricted_queue[key]
+            self.engine.remove_queue(queue)
+            self.registry.destroy(queue.context)
+            self.context_evictions += 1
+            if memory.free_mb >= spec.mps_context_mb:
+                return
+        raise OutOfMemoryError(
+            f"cannot create another MPS context ({spec.mps_context_mb}MB): "
+            f"{memory.free_mb}MB free and all "
+            f"{len(self._restricted_queue)} cached contexts are busy"
+        )
 
     def restricted_queue(self, app_id: str, partition: int) -> DeviceQueue:
         """The client's device queue for an ``n/N``-restricted context."""
         key = (app_id, partition)
         queue = self._restricted_queue.get(key)
         if queue is None:
+            self._ensure_context_memory()
             fraction = self.config.partition_fraction(partition)
             context = self.registry.create(
                 owner=app_id, sm_limit=fraction, label=f"mps-{partition}"
@@ -97,7 +148,30 @@ class ConcurrentKernelManager:
                 context, label=f"{app_id}/mps-{partition}"
             )
             self._restricted_queue[key] = queue
+            self.peak_context_memory_mb = max(
+                self.peak_context_memory_mb, self.context_memory_mb
+            )
+        else:
+            self._restricted_queue.move_to_end(key)
         return queue
+
+    def handle_context_crash(self, context: GPUContext) -> None:
+        """Forget cached queues bonded to a crashed (torn-down) context.
+
+        The engine has already killed the queues; this drops them from
+        the cache so the next squad lazily re-creates fresh contexts,
+        and re-registers the owner if its default context died too.
+        """
+        self.context_crashes += 1
+        for key in [
+            k for k, q in self._restricted_queue.items() if q.context is context
+        ]:
+            del self._restricted_queue[key]
+        owner = context.owner
+        default = self._default_queue.get(owner)
+        if default is not None and default.dead:
+            del self._default_queue[owner]
+            self.register_client(owner)
 
     # ------------------------------------------------------------------
     # Squad execution
@@ -159,7 +233,15 @@ class ConcurrentKernelManager:
             self._launch_slice(entry, rear, self._default_queue[app_id], kernel_done)
             return
 
-        restricted = self.restricted_queue(app_id, partition)
+        try:
+            restricted = self.restricted_queue(app_id, partition)
+        except OutOfMemoryError:
+            # Degrade rather than die: with no memory for another MPS
+            # context, run the whole entry unrestricted (NSP for this
+            # client only) and let a later squad retry spatial sharing.
+            self.oom_fallbacks += 1
+            self._launch_slice(entry, indices, self._default_queue[app_id], kernel_done)
+            return
         if not rear:
             self._launch_slice(entry, front, restricted, kernel_done)
             return

@@ -22,7 +22,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..baselines.base import ClientState, SharingSystem
+from ..gpusim.context import GPUContext
 from ..gpusim.device import GPUSpec
+from ..gpusim.faults import FaultPlan
 from ..gpusim.kernel import KernelInstance
 from .config import BlessConfig, DEFAULT_CONFIG
 from .configurator import (
@@ -47,12 +49,14 @@ class BlessRuntime(SharingSystem):
         record_timeline: bool = False,
         hw_policy: str = "fair",
         validate: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         super().__init__(
             gpu_spec=gpu_spec,
             record_timeline=record_timeline,
             hw_policy=hw_policy,
             validate=validate,
+            fault_plan=fault_plan,
         )
         self.config = config
         self.profiler = OfflineProfiler(config=config, gpu_spec=self.gpu_spec)
@@ -69,6 +73,8 @@ class BlessRuntime(SharingSystem):
         self._squad_count = 0
         self._squad_kernel_total = 0
         self._spatial_squads = 0
+        self._profiles_stale = False
+        self._stale_streak = 0
 
     # ------------------------------------------------------------------
     # Deployment (§4.2)
@@ -85,6 +91,8 @@ class BlessRuntime(SharingSystem):
         self._squad_count = 0
         self._squad_kernel_total = 0
         self._spatial_squads = 0
+        self._profiles_stale = False
+        self._stale_streak = 0
 
         slo = self.config.slo_targets_us or {}
         for client in self.clients.values():
@@ -171,9 +179,12 @@ class BlessRuntime(SharingSystem):
             self._squad_inflight = False
             return
 
-        if self.config.use_config_determiner:
+        if self.config.use_config_determiner and not self._profiles_stale:
             exec_config = self.determiner.determine(squad, self.profiles)
         else:
+            # Either the determiner is ablated (Fig. 20) or the drift
+            # watchdog flagged the offline profiles as untrustworthy —
+            # degrade to the estimate-free quota-proportional plan.
             quotas = {c.app_id: c.app.quota for c in self.clients.values()}
             exec_config = quota_proportional_config(
                 squad, self.profiles, quotas, self.config
@@ -207,6 +218,10 @@ class BlessRuntime(SharingSystem):
             launch()
 
     def _on_kernel_finish(self, kernel: KernelInstance) -> None:
+        if kernel.failed:
+            # Killed/permanently-failed kernels still drain squad
+            # accounting, but must not complete their (shed) request.
+            return
         client = self.clients.get(kernel.app_id)
         if client is None or client.active is None:
             return
@@ -219,7 +234,41 @@ class BlessRuntime(SharingSystem):
 
     def _on_squad_done(self, execution: SquadExecution) -> None:
         self._last_squad_duration = execution.duration_us
+        if self.fault_injector is not None and not self._profiles_stale:
+            self._check_profile_drift(execution)
         self._schedule_round(from_idle=False)
+
+    def _check_profile_drift(self, execution: SquadExecution) -> None:
+        """Drift watchdog: distrust profiles that keep under-predicting.
+
+        Fault injection can perturb kernel durations away from the
+        offline profiles.  After ``profile_stale_patience`` consecutive
+        squads overrunning their prediction by ``profile_stale_ratio``,
+        the determiner is benched in favour of the quota-proportional
+        fallback, which does not rely on duration estimates.
+        """
+        predicted = execution.config.predicted_duration_us
+        if predicted <= 0:
+            return
+        if execution.duration_us / predicted >= self.config.profile_stale_ratio:
+            self._stale_streak += 1
+        else:
+            self._stale_streak = 0
+        if self._stale_streak >= self.config.profile_stale_patience:
+            self._profiles_stale = True
+            self.fault_stats.profile_stale_events += 1
+
+    def on_context_crash(self, context: GPUContext, killed) -> None:
+        """Recover from a restricted (MPS) context dying mid-squad.
+
+        The manager forgets the dead cached queues (and re-registers
+        the owner if its default context died), then the killed kernels
+        are relaunched through the owner's default queue so the squad —
+        and every non-faulted request in it — still completes.
+        """
+        self.manager.handle_context_crash(context)
+        queue = self.manager.register_client(context.owner)
+        self.relaunch_killed(killed, queue)
 
     # ------------------------------------------------------------------
     def serve(self, bindings):  # type: ignore[override]
@@ -227,6 +276,14 @@ class BlessRuntime(SharingSystem):
         result.extras["squads"] = float(self._squad_count)
         result.extras["spatial_squads"] = float(self._spatial_squads)
         result.extras["context_switches"] = float(self.manager.context_switches)
+        result.extras["context_memory_mb"] = float(self.manager.context_memory_mb)
+        result.extras["peak_context_memory_mb"] = float(
+            self.manager.peak_context_memory_mb
+        )
+        result.extras["context_evictions"] = float(self.manager.context_evictions)
+        result.extras["oom_fallbacks"] = float(self.manager.oom_fallbacks)
+        if self.fault_injector is not None:
+            result.extras["profile_stale"] = float(self._profiles_stale)
         if self._squad_count:
             result.extras["kernels_per_squad"] = (
                 self._squad_kernel_total / self._squad_count

@@ -49,3 +49,5 @@ ALL_EXPERIMENTS = [
 # Reproduction-specific ablations (DESIGN.md design choices).
 ALL_EXPERIMENTS.append("ablations_extra")
 ALL_EXPERIMENTS.append("tail_latency")
+# Robustness: graceful degradation under injected faults.
+ALL_EXPERIMENTS.append("resilience")

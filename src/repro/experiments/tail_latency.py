@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-import numpy as np
-
 from ..workloads.suite import bind_load, bind_trace, symmetric_pair
 from .common import INFERENCE_SYSTEMS, format_table
 
@@ -26,12 +24,13 @@ def _collect(bindings_factory) -> Dict[str, Dict[str, float]]:
     out: Dict[str, Dict[str, float]] = {}
     for name in _SYSTEMS:
         result = INFERENCE_SYSTEMS[name]().serve(bindings_factory())
-        latencies = np.asarray(result.latencies())
+        # percentile_latency/mean_latency are nan-safe on empty samples
+        # (a run where every request was shed must not crash the sweep).
         out[name] = {
-            f"p{int(q)}": float(np.percentile(latencies, q)) / 1000.0
+            f"p{int(q)}": result.percentile_latency(q) / 1000.0
             for q in _PERCENTILES
         }
-        out[name]["mean"] = float(latencies.mean()) / 1000.0
+        out[name]["mean"] = result.mean_latency() / 1000.0
     return out
 
 

@@ -10,6 +10,7 @@ slicing, and the launch/sync/context-switch overheads of §6.9.
 from .context import ContextRegistry, GPUContext
 from .device import GPUDevice, GPUSpec, MemoryPool, OutOfMemoryError
 from .engine import SimEngine, TimelineSegment
+from .faults import FaultInjector, FaultPlan, resolve_fault_plan
 from .hwsched import Allocation, HardwareScheduler
 from .interference import InterferenceModel
 from .kernel import KernelInstance, KernelKind, KernelSpec
@@ -23,6 +24,8 @@ __all__ = [
     "assign_slices",
     "ContextRegistry",
     "DeviceQueue",
+    "FaultInjector",
+    "FaultPlan",
     "GPUContext",
     "GPUDevice",
     "GPUSpec",
@@ -38,6 +41,7 @@ __all__ = [
     "OutOfMemoryError",
     "partition",
     "PCIeChannel",
+    "resolve_fault_plan",
     "SimEngine",
     "TimelineSegment",
     "KernelEvent",

@@ -64,6 +64,11 @@ from .pcie import PCIeChannel
 from .stream import DeviceQueue
 from .context import GPUContext
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector
+
 EventCallback = Callable[[], None]
 
 ENGINE_MODES = ("vectorized", "scalar", "legacy")
@@ -147,6 +152,7 @@ class SimEngine:
         validate: bool = False,
         mode: Optional[str] = None,
         timeline_capacity: int = 65536,
+        fault_injector: Optional["FaultInjector"] = None,
     ):
         self.device = device or GPUDevice()
         self.interference = interference or InterferenceModel()
@@ -196,7 +202,13 @@ class SimEngine:
         self._running_dirty = False
         self._completion_event: Optional[_Event] = None
         self._finish_subscribers: List[Callable[[KernelInstance], None]] = []
+        self._failure_subscribers: List[Callable[[KernelInstance], None]] = []
         self._per_kernel_callbacks: Dict[int, Callable[[KernelInstance], None]] = {}
+        # Fault injection (None on the default, perfect-world path).
+        self._faults = fault_injector
+        # kernel uid -> event for kernels parked in retry backoff; their
+        # queue stays blocked on them until the retry (or a kill) runs.
+        self._pending_retries: Dict[int, _Event] = {}
         # Memoized membership-signature -> (fractions, rates, busy).
         self._rebalance_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         # Utilization accounting: integral of busy SM fraction over time.
@@ -209,6 +221,9 @@ class SimEngine:
         )
         self._pending_segment: Optional[TimelineSegment] = None
         self._kernels_completed = 0
+        self._kernels_failed = 0
+        self._kernels_retried = 0
+        self._kernels_killed = 0
         # Hot-path diagnostics (surfaced as ServingResult engine_* extras).
         self._events_processed = 0
         self._rebalances = 0
@@ -302,6 +317,9 @@ class SimEngine:
             self._per_kernel_callbacks[kernel.uid] = on_finish
 
         def make_visible() -> None:
+            if queue.dead:
+                self._fail_launch([kernel])
+                return
             queue.push(kernel, self.now)
             self._queue_of[kernel.uid] = queue
             self._mark_ready(queue)
@@ -344,6 +362,9 @@ class SimEngine:
                     self._per_kernel_callbacks[kernel.uid] = callback
 
         def make_visible() -> None:
+            if queue.dead:
+                self._fail_launch(kernels)
+                return
             queue_of = self._queue_of
             for kernel in kernels:
                 queue.push(kernel, self.now)
@@ -359,6 +380,26 @@ class SimEngine:
     def subscribe_finish(self, callback: Callable[[KernelInstance], None]) -> None:
         """Register a callback invoked on every kernel completion."""
         self._finish_subscribers.append(callback)
+
+    def subscribe_failure(self, callback: Callable[[KernelInstance], None]) -> None:
+        """Register a callback invoked on every permanent kernel failure.
+
+        Fires *before* the failed kernel's per-kernel callback, so a
+        harness can shed the owning request first and let the identity
+        guards in the per-kernel callbacks short-circuit naturally.
+        """
+        self._failure_subscribers.append(callback)
+
+    def _fail_launch(self, kernels: List[KernelInstance]) -> None:
+        """A launch landed on a dead (crashed-context) queue: fail it."""
+        for kernel in kernels:
+            kernel.failed = True
+            self._kernels_failed += 1
+            callback = self._per_kernel_callbacks.pop(kernel.uid, None)
+            for subscriber in self._failure_subscribers:
+                subscriber(kernel)
+            if callback is not None:
+                callback(kernel)
 
     # ------------------------------------------------------------------
     # Execution state machine
@@ -383,6 +424,7 @@ class SimEngine:
         started = False
         progressing = False
         dirty = self._dirty_queues
+        faults = self._faults
         # The clock only advances in the event loop, never inside a
         # dispatch pass, so ``now`` is loop-invariant here.
         now = self.now
@@ -423,12 +465,16 @@ class SimEngine:
                 if kind is KernelKind.SYNC or spec.base_duration_us == 0:
                     self._complete_kernel(queue, head)
                     progressing = True
-                elif kind is KernelKind.COMPUTE:
-                    self._add_running(head, context)
-                    started = True
-                else:  # H2D / D2H drain through the PCIe channel.
-                    self._running_memcpy.append(head)
-                    self._running_dirty = True
+                else:
+                    if faults is not None:
+                        multiplier = faults.work_multiplier(head)
+                        if multiplier != 1.0:
+                            head.remaining_work = spec.base_duration_us * multiplier
+                    if kind is KernelKind.COMPUTE:
+                        self._add_running(head, context)
+                    else:  # H2D / D2H drain through the PCIe channel.
+                        self._running_memcpy.append(head)
+                        self._running_dirty = True
                     started = True
         if started or progressing:
             # _maybe_rebalance, inlined (legacy never reaches here).
@@ -480,12 +526,18 @@ class SimEngine:
                 if kernel.spec.kind is KernelKind.SYNC or kernel.spec.base_duration_us == 0:
                     self._complete_kernel(queue, kernel)
                     progressing = True
-                elif kernel.spec.is_memcpy:
-                    self._running_memcpy.append(kernel)
-                    self._running_dirty = True
-                    started = True
                 else:
-                    self._add_running(kernel, queue.context)
+                    if self._faults is not None:
+                        multiplier = self._faults.work_multiplier(kernel)
+                        if multiplier != 1.0:
+                            kernel.remaining_work = (
+                                kernel.spec.base_duration_us * multiplier
+                            )
+                    if kernel.spec.is_memcpy:
+                        self._running_memcpy.append(kernel)
+                        self._running_dirty = True
+                    else:
+                        self._add_running(kernel, queue.context)
                     started = True
         if started or progressing:
             self._rebalance()
@@ -850,14 +902,22 @@ class SimEngine:
                 if k.remaining_work <= (threshold if threshold > 1e-9 else 1e-9):
                     finished_memcpy.append(k)
         for kernel in finished_compute:
-            index = running_compute.index(kernel)
+            try:
+                index = running_compute.index(kernel)
+            except ValueError:
+                # Removed by a fault handler (kill/shed) earlier in this
+                # same sweep — nothing left to complete.
+                continue
             del running_compute[index]
             del self._running_ctx[index]
             del self._sig_parts[index]
             self._running_dirty = True
             self._complete_kernel(self._queue_of[kernel.uid], kernel)
         for kernel in finished_memcpy:
-            self._running_memcpy.remove(kernel)
+            try:
+                self._running_memcpy.remove(kernel)
+            except ValueError:
+                continue
             self._running_dirty = True
             self._complete_kernel(self._queue_of[kernel.uid], kernel)
         self._dispatch()
@@ -878,19 +938,201 @@ class SimEngine:
         # queue.finish_running + _mark_ready, inlined (hot: once per
         # kernel).  The queue invariably holds `kernel` as its running
         # entry here — dispatch and the completion sweep guarantee it.
+        faults = self._faults
+        if (
+            faults is not None
+            and not kernel.failed
+            and kernel.spec.base_duration_us > 0.0
+            and kernel.spec.kind is not KernelKind.SYNC
+            and faults.should_fail(kernel)
+        ):
+            if kernel.attempts < faults.max_retries:
+                # Transient failure: the queue stays blocked on this
+                # kernel while it backs off, exactly like a stalled
+                # stream — ordering within the queue is preserved.
+                kernel.attempts += 1
+                self._kernels_retried += 1
+                event = self.schedule(
+                    faults.backoff_us(kernel.attempts),
+                    lambda: self._retry_kernel(queue, kernel),
+                )
+                self._pending_retries[kernel.uid] = event
+                return
+            kernel.failed = True
         now = self.now
         kernel.finish_time = now
         queue._running = None
         queue.last_finish_time = now
         kernel.remaining_work = 0.0
         self._queue_of.pop(kernel.uid, None)
-        self._kernels_completed += 1
         self._dirty_queues[queue.queue_id] = queue
         callback = self._per_kernel_callbacks.pop(kernel.uid, None)
+        if kernel.failed:
+            # Permanent failure: notify the harness first (it sheds the
+            # owning request), then drain the per-kernel callback so
+            # squad/batch accounting never stalls.
+            self._kernels_failed += 1
+            for subscriber in self._failure_subscribers:
+                subscriber(kernel)
+            if callback is not None:
+                callback(kernel)
+            return
+        self._kernels_completed += 1
         if callback is not None:
             callback(kernel)
         for subscriber in self._finish_subscribers:
             subscriber(kernel)
+
+    def _retry_kernel(self, queue: DeviceQueue, kernel: KernelInstance) -> None:
+        """Re-issue a transiently-failed kernel after its backoff.
+
+        The kernel never left ``queue._running``, so the queue order is
+        intact; work is reset (re-rolling the slowdown spike for the new
+        attempt) and the kernel re-enters the running set.
+        """
+        self._pending_retries.pop(kernel.uid, None)
+        kernel.start_time = self.now
+        multiplier = self._faults.work_multiplier(kernel) if self._faults else 1.0
+        kernel.remaining_work = kernel.spec.base_duration_us * multiplier
+        if kernel.spec.is_memcpy:
+            self._running_memcpy.append(kernel)
+            self._running_dirty = True
+        else:
+            self._add_running(kernel, queue.context)
+        self._maybe_rebalance()
+
+    # ------------------------------------------------------------------
+    # Fault teardown: killing kernels, requests, and whole contexts
+    # ------------------------------------------------------------------
+    def _remove_from_running(self, kernel: KernelInstance) -> bool:
+        """Drop ``kernel`` from the running sets; False if not running
+        (e.g. parked in retry backoff or still pending)."""
+        if kernel.spec.is_memcpy:
+            try:
+                self._running_memcpy.remove(kernel)
+            except ValueError:
+                return False
+            self._running_dirty = True
+            return True
+        try:
+            index = self._running_compute.index(kernel)
+        except ValueError:
+            return False
+        del self._running_compute[index]
+        del self._running_ctx[index]
+        del self._sig_parts[index]
+        self._running_dirty = True
+        return True
+
+    def _kill_kernel(self, queue: DeviceQueue, kernel: KernelInstance) -> tuple:
+        """Common kill bookkeeping; returns the (kernel, callback) pair."""
+        self._remove_from_running(kernel)
+        retry = self._pending_retries.pop(kernel.uid, None)
+        if retry is not None:
+            self.cancel(retry)
+        kernel.failed = True
+        self._kernels_killed += 1
+        self._queue_of.pop(kernel.uid, None)
+        return kernel, self._per_kernel_callbacks.pop(kernel.uid, None)
+
+    def kill_request(
+        self, app_id: str, request_id: int
+    ) -> List[Tuple[KernelInstance, Optional[Callable[[KernelInstance], None]]]]:
+        """Remove every queued/running kernel of one request.
+
+        Killed kernels are marked ``failed`` and returned with their
+        per-kernel callbacks (in queue order) so the caller can drain
+        accounting.  The engine does NOT invoke the callbacks itself.
+        """
+        killed = []
+        had_running = False
+        for queue in self._queues:
+            running = queue._running
+            if (
+                running is not None
+                and running.app_id == app_id
+                and running.request_id == request_id
+            ):
+                had_running = True
+                killed.append(self._kill_kernel(queue, running))
+                queue._running = None
+                queue.last_finish_time = self.now
+                self._dirty_queues[queue.queue_id] = queue
+            pending = queue._pending
+            if pending:
+                kept = deque()
+                for kernel in pending:
+                    if kernel.app_id == app_id and kernel.request_id == request_id:
+                        killed.append(self._kill_kernel(queue, kernel))
+                    else:
+                        kept.append(kernel)
+                if len(kept) != len(pending):
+                    queue._pending = kept
+                    self._dirty_queues[queue.queue_id] = queue
+        if had_running:
+            # Freed queue heads and/or SM share: re-dispatch and re-rate.
+            self._dispatch()
+            self._maybe_rebalance()
+        return killed
+
+    def kill_context(
+        self, context: GPUContext
+    ) -> List[Tuple[KernelInstance, Optional[Callable[[KernelInstance], None]]]]:
+        """Tear down ``context``: its queues die with every buffered kernel.
+
+        Models an MPS context crash.  Queues bonded to the context are
+        removed from the engine and flagged ``dead`` so in-flight
+        launches fail instead of executing on a ghost context.  Returns
+        (kernel, callback) pairs in queue order for the caller to shed
+        or relaunch.
+        """
+        killed = []
+        removed_running = False
+        survivors = []
+        for queue in self._queues:
+            if queue.context is not context:
+                survivors.append(queue)
+                continue
+            running = queue._running
+            if running is not None:
+                # A kernel parked in retry backoff is queue._running but
+                # not in the running sets; it frees no SM share.
+                was_running = running.uid not in self._pending_retries
+                killed.append(self._kill_kernel(queue, running))
+                removed_running = removed_running or was_running
+                queue._running = None
+            for kernel in queue._pending:
+                killed.append(self._kill_kernel(queue, kernel))
+            queue._pending.clear()
+            queue.dead = True
+            self._dirty_queues.pop(queue.queue_id, None)
+            gap = self._gap_events.pop(queue.queue_id, None)
+            if gap is not None:
+                self.cancel(gap[1])
+        self._queues = survivors
+        if removed_running:
+            self._maybe_rebalance()
+        return killed
+
+    def remove_queue(self, queue: DeviceQueue) -> None:
+        """Detach an *idle* queue (context eviction, not a crash).
+
+        The queue must have no running or pending kernels.  It is
+        flagged ``dead`` so that any launch already in flight (inside
+        its launch-overhead window) fails cleanly instead of landing on
+        a detached queue and stalling forever.
+        """
+        if queue._running is not None or queue._pending:
+            raise ValueError("cannot remove a non-idle queue")
+        try:
+            self._queues.remove(queue)
+        except ValueError:
+            pass
+        queue.dead = True
+        self._dirty_queues.pop(queue.queue_id, None)
+        gap = self._gap_events.pop(queue.queue_id, None)
+        if gap is not None:
+            self.cancel(gap[1])
 
     # ------------------------------------------------------------------
     # Utilization accounting
@@ -964,7 +1206,22 @@ class SimEngine:
             "heap_compactions": self._heap_compactions,
             "peak_heap_size": self._peak_heap_size,
             "gap_events_superseded": self._gap_events_superseded,
+            "kernels_failed": self._kernels_failed,
+            "kernels_retried": self._kernels_retried,
+            "kernels_killed": self._kernels_killed,
         }
+
+    @property
+    def kernels_failed(self) -> int:
+        return self._kernels_failed
+
+    @property
+    def kernels_retried(self) -> int:
+        return self._kernels_retried
+
+    @property
+    def kernels_killed(self) -> int:
+        return self._kernels_killed
 
     # ------------------------------------------------------------------
     # Main loop

@@ -168,6 +168,11 @@ class KernelInstance:
     # Filled in by the engine while the kernel runs:
     current_rate: float = 0.0
     current_sm_fraction: float = 0.0
+    # Fault machinery (see gpusim.faults): how many failed attempts this
+    # instance has retried, and whether it ended in permanent failure
+    # (either exhausted retries or killed with its context/request).
+    attempts: int = 0
+    failed: bool = False
 
     def __post_init__(self) -> None:
         self.remaining_work = self.spec.base_duration_us

@@ -29,6 +29,9 @@ class DeviceQueue:
     # Completion time of the most recent kernel in this queue; the next
     # head becomes dispatchable at last_finish_time + its dispatch gap.
     last_finish_time: float = float("-inf")
+    # Set by SimEngine.kill_context: launches that were in flight when
+    # the context died land on a dead queue and fail instead of running.
+    dead: bool = False
     _pending: Deque[KernelInstance] = field(default_factory=deque)
     _running: Optional[KernelInstance] = None
 

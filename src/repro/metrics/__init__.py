@@ -9,13 +9,20 @@ from .io import (
     save_result,
     save_results,
 )
-from .stats import RequestRecord, ServingResult, qos_violation_rate, summarize
+from .stats import (
+    FaultStats,
+    RequestRecord,
+    ServingResult,
+    qos_violation_rate,
+    summarize,
+)
 
 __all__ = [
     "average_deviation_us",
     "BubbleReport",
     "bubbles_from_timeline",
     "compare_results",
+    "FaultStats",
     "latency_deviation_us",
     "load_result",
     "load_results",

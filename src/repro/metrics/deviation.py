@@ -14,6 +14,7 @@ measures a system's flexibility (Fig. 14).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Mapping, Sequence
 
 import numpy as np
@@ -30,6 +31,10 @@ def latency_deviation_us(
         target = iso_targets_us.get(app_id)
         if target is None:
             raise KeyError(f"no ISO target for app {app_id!r}")
+        if math.isnan(mean):
+            # An app with zero completed requests (all shed/faulted)
+            # contributes no deviation rather than poisoning the sum.
+            continue
         total += max(mean - target, 0.0)
     return total
 

@@ -70,6 +70,88 @@ class CacheStats:
 
 
 @dataclass
+class FaultStats:
+    """Fault-injection and graceful-degradation accounting.
+
+    Populated by the serving harness when a :class:`~repro.gpusim.faults.
+    FaultPlan` is active and surfaced in ``ServingResult.extras`` under
+    the ``fault_`` prefix (see docs/robustness.md for the degradation
+    ladder each counter belongs to).
+    """
+
+    # Injected events.
+    slowdown_spikes: int = 0
+    transient_retries: int = 0
+    permanent_failures: int = 0
+    context_crashes: int = 0
+    context_crashes_skipped: int = 0
+    kernels_killed: int = 0
+    # Degradation responses.
+    degraded_relaunches: int = 0
+    shed_failed: int = 0
+    shed_timeout: int = 0
+    stale_completions: int = 0
+    profile_stale_events: int = 0
+
+    @property
+    def shed_requests(self) -> int:
+        return self.shed_failed + self.shed_timeout
+
+    @property
+    def degradation_events(self) -> int:
+        """Total graceful-degradation actions the run had to take."""
+        return (
+            self.transient_retries
+            + self.permanent_failures
+            + self.context_crashes
+            + self.kernels_killed
+            + self.degraded_relaunches
+            + self.shed_failed
+            + self.shed_timeout
+            + self.stale_completions
+            + self.profile_stale_events
+        )
+
+    def merge(self, other: "FaultStats") -> "FaultStats":
+        """Combine counters from another run (e.g. across sub-GPUs)."""
+        return FaultStats(
+            slowdown_spikes=self.slowdown_spikes + other.slowdown_spikes,
+            transient_retries=self.transient_retries + other.transient_retries,
+            permanent_failures=self.permanent_failures + other.permanent_failures,
+            context_crashes=self.context_crashes + other.context_crashes,
+            context_crashes_skipped=(
+                self.context_crashes_skipped + other.context_crashes_skipped
+            ),
+            kernels_killed=self.kernels_killed + other.kernels_killed,
+            degraded_relaunches=self.degraded_relaunches + other.degraded_relaunches,
+            shed_failed=self.shed_failed + other.shed_failed,
+            shed_timeout=self.shed_timeout + other.shed_timeout,
+            stale_completions=self.stale_completions + other.stale_completions,
+            profile_stale_events=(
+                self.profile_stale_events + other.profile_stale_events
+            ),
+        )
+
+    def as_dict(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten to float-valued counters for ``ServingResult.extras``."""
+        return {
+            f"{prefix}slowdown_spikes": float(self.slowdown_spikes),
+            f"{prefix}transient_retries": float(self.transient_retries),
+            f"{prefix}permanent_failures": float(self.permanent_failures),
+            f"{prefix}context_crashes": float(self.context_crashes),
+            f"{prefix}context_crashes_skipped": float(self.context_crashes_skipped),
+            f"{prefix}kernels_killed": float(self.kernels_killed),
+            f"{prefix}degraded_relaunches": float(self.degraded_relaunches),
+            f"{prefix}shed_failed": float(self.shed_failed),
+            f"{prefix}shed_timeout": float(self.shed_timeout),
+            f"{prefix}shed_requests": float(self.shed_requests),
+            f"{prefix}stale_completions": float(self.stale_completions),
+            f"{prefix}profile_stale_events": float(self.profile_stale_events),
+            f"{prefix}degradation_events": float(self.degradation_events),
+        }
+
+
+@dataclass
 class RequestRecord:
     """Outcome of one served request."""
 

@@ -48,11 +48,23 @@ class TestClientRegistration:
         queue = manager.default_queue("a")
         assert queue.context.sm_limit == 1.0
 
-    def test_duplicate_registration_rejected(self):
-        _, _, manager = make_manager()
-        manager.register_client("a")
-        with pytest.raises(ValueError):
-            manager.register_client("a")
+    def test_duplicate_registration_idempotent(self):
+        # Crash recovery re-registers clients without tracking whether
+        # they are already known, so a repeat must be a cheap no-op.
+        _, registry, manager = make_manager()
+        q1 = manager.register_client("a")
+        q2 = manager.register_client("a")
+        assert q1 is q2
+        assert len(registry.owned_by("a")) == 1
+
+    def test_reregistration_after_dead_queue_creates_fresh(self):
+        engine, registry, manager = make_manager()
+        q1 = manager.register_client("a")
+        engine.remove_queue(q1)  # simulates teardown
+        q2 = manager.register_client("a")
+        assert q2 is not q1
+        assert not q2.dead
+        assert manager.default_queue("a") is q2
 
     def test_restricted_queue_cached_and_charged(self):
         engine, _, manager = make_manager()

@@ -9,14 +9,17 @@ engine, proving the fast path changed nothing observable.
 """
 
 import json
+import os
 from functools import partial
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.models import MODEL_NAMES, inference_app
 from repro.experiments.common import (
     INFERENCE_SYSTEMS,
+    CellExecutionError,
     ServeCell,
     resolve_jobs,
     run_cells,
@@ -119,6 +122,69 @@ class TestParallelDeterminism:
         ]
         results = run_cells(cells, jobs=3)
         assert [r.system for r in results] == ["BLESS", "GSLICE", "TEMPORAL"]
+
+
+def _broken_bindings():
+    raise RuntimeError("synthetic workload failure")
+
+
+def _worker_only_broken_bindings(parent_pid, apps):
+    # Fails only inside pool workers: the serial re-run (same process
+    # as the submitter) succeeds, modelling a worker-environment
+    # casualty rather than a simulation bug.
+    if os.getpid() != parent_pid:
+        raise RuntimeError("worker environment casualty")
+    return bind_load(apps, "A", requests=1)
+
+
+def _make_cell(key, bindings_factory):
+    return ServeCell(
+        key=key,
+        system="GSLICE",
+        system_factory=INFERENCE_SYSTEMS["GSLICE"],
+        bindings_factory=bindings_factory,
+    )
+
+
+class TestRunCellsErrors:
+    def _apps(self):
+        return [
+            inference_app("R50").with_quota(0.5, app_id="app1"),
+            inference_app("R50").with_quota(0.5, app_id="app2"),
+        ]
+
+    def test_serial_failure_wrapped_with_cell_identity(self):
+        cell = _make_cell(("loadA", "GSLICE"), _broken_bindings)
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells([cell], jobs=1)
+        assert excinfo.value.key == ("loadA", "GSLICE")
+        assert excinfo.value.system == "GSLICE"
+        assert "synthetic workload failure" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_parallel_failure_wrapped_with_cell_identity(self):
+        apps = self._apps()
+        good = _make_cell("good", partial(bind_load, apps, "A", 1))
+        bad = _make_cell("bad", _broken_bindings)
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells([good, bad], jobs=2)
+        assert excinfo.value.key == "bad"
+
+    def test_worker_only_failure_recovers_serially(self):
+        # The pool worker dies on this cell; the serial fallback in the
+        # parent succeeds, so the grid completes without an exception.
+        apps = self._apps()
+        cells = [
+            _make_cell("ok", partial(bind_load, apps, "A", 1)),
+            _make_cell(
+                "flaky",
+                partial(_worker_only_broken_bindings, os.getpid(), apps),
+            ),
+        ]
+        results = run_cells(cells, jobs=2)
+        assert len(results) == 2
+        assert all(r.system == "GSLICE" for r in results)
+        assert results[0].records and results[1].records
 
 
 class TestGoldenFig13:

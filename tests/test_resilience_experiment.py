@@ -1,0 +1,43 @@
+"""Resilience experiment: structure, invariants, and golden replay.
+
+The golden file pins the full ``run_quick`` output at the experiment's
+fixed seed; CI's fault-smoke leg replays it to prove fault-injected
+runs stay byte-identical across changes (the replay-determinism
+guarantee of docs/robustness.md, end to end).
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.resilience import make_plan, run_quick
+
+GOLDEN = Path(__file__).parent / "golden" / "resilience_smoke.json"
+
+
+class TestResilienceExperiment:
+    def test_plan_shape(self):
+        plan = make_plan(0.05)
+        assert plan.kernel_failure_rate == 0.05
+        assert plan.context_crash_times
+        assert plan.active
+
+    def test_books_balance_everywhere(self):
+        data = run_quick(jobs=1)
+        assert len(data) == 4  # one scenario per failure rate
+        for scenario, systems in data.items():
+            assert set(systems) == {"GSLICE", "UNBOUND", "BLESS"}
+            for name, stats in systems.items():
+                assert (
+                    stats["completed"] + stats["shed"] == stats["arrived"]
+                ), f"{scenario}/{name}"
+                assert stats["arrived"] > 0
+
+    def test_matches_golden(self):
+        measured = json.loads(json.dumps(run_quick(jobs=1), sort_keys=True))
+        golden = json.loads(GOLDEN.read_text())
+        assert measured == golden
+
+    def test_parallel_matches_golden(self):
+        measured = json.loads(json.dumps(run_quick(jobs=2), sort_keys=True))
+        golden = json.loads(GOLDEN.read_text())
+        assert measured == golden

@@ -54,6 +54,12 @@ from .metrics import (
     latency_deviation_us,
     qos_violation_rate,
 )
+from .obs import (
+    DecisionTracer,
+    MetricsRegistry,
+    Observability,
+    TraceEvent,
+)
 from .workloads import (
     QUOTAS_2MODEL,
     WorkloadBinding,
@@ -76,6 +82,7 @@ __all__ = [
     "BlessConfig",
     "BlessRuntime",
     "check_admission",
+    "DecisionTracer",
     "FaultPlan",
     "GPUDevice",
     "GPUSpec",
@@ -86,9 +93,11 @@ __all__ = [
     "KernelKind",
     "KernelSpec",
     "latency_deviation_us",
+    "MetricsRegistry",
     "MIGSystem",
     "MODEL_NAMES",
     "multi_app_mix",
+    "Observability",
     "OfflineProfiler",
     "qos_violation_rate",
     "QUOTAS_2MODEL",
@@ -101,6 +110,7 @@ __all__ = [
     "solo_latency_us",
     "symmetric_pair",
     "TemporalSystem",
+    "TraceEvent",
     "training_app",
     "training_pair",
     "UnboundSystem",

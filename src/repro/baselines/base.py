@@ -23,6 +23,8 @@ from ..gpusim.faults import FaultInjector, FaultPlan, resolve_fault_plan
 from ..gpusim.kernel import KernelInstance
 from ..gpusim.stream import DeviceQueue
 from ..metrics.stats import FaultStats, RequestRecord, ServingResult
+from ..obs import Observability
+from ..obs import events as obs_events
 from ..workloads.arrivals import ArrivalProcess, TraceReplay, OneShot
 from ..workloads.suite import WorkloadBinding
 
@@ -60,11 +62,18 @@ class SharingSystem(abc.ABC):
         hw_policy: str = "fair",
         validate: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        trace: Optional[bool] = None,
     ):
         self.gpu_spec = gpu_spec or GPUSpec()
         self.record_timeline = record_timeline
         self.hw_policy = hw_policy
         self.validate = validate
+        # Observability: the metrics registry always rides along; the
+        # decision tracer only when `trace=True` (or REPRO_TRACE is
+        # set).  A fresh bundle is created per serve() so repeated
+        # serves on one system object never mix streams.
+        self._trace_flag = trace
+        self.obs = Observability(trace)
         # Fault injection: an explicit plan wins; otherwise the
         # REPRO_FAULT_PLAN / REPRO_FAULT_SEED environment (None = off).
         self.fault_plan = fault_plan if fault_plan is not None else resolve_fault_plan()
@@ -178,6 +187,8 @@ class SharingSystem(abc.ABC):
             fault_injector=self.fault_injector,
         )
         self.registry = ContextRegistry(self.engine.device)
+        self.obs = Observability(self._trace_flag)
+        self.obs.begin_serve(self.engine)
         self.clients = {}
         self._result = ServingResult(system=self.name)
         self._inflight = 0
@@ -211,17 +222,20 @@ class SharingSystem(abc.ABC):
 
         self._result.makespan_us = self.engine.now
         self._result.utilization = self.engine.utilization()
-        for key, value in self.engine.counters.items():
-            self._result.extras[f"engine_{key}"] = float(value)
+        # End-of-run tallies flow through the metrics registry; the
+        # legacy_extras() shim reproduces the historical extras keys
+        # (engine_*, fault_*) byte-identically for golden files.
+        self.obs.registry.import_mapping("engine", self.engine.counters)
         if self.fault_injector is not None:
             stats = self.fault_stats
             stats.transient_retries = self.engine.kernels_retried
             stats.permanent_failures = self.engine.kernels_failed
             stats.kernels_killed = self.engine.kernels_killed
-            self._result.extras.update(stats.as_dict(prefix="fault_"))
-            self._result.extras["fault_requests_arrived"] = float(
-                self._requests_arrived
+            self.obs.registry.import_mapping("fault", stats.as_dict())
+            self.obs.registry.gauge("fault/requests_arrived").set(
+                float(self._requests_arrived)
             )
+        self._result.extras.update(self.obs.legacy_extras())
         return self._result
 
     # ------------------------------------------------------------------
@@ -236,6 +250,12 @@ class SharingSystem(abc.ABC):
         client.pending.append(request)
         self._inflight_enter()
         self._requests_arrived += 1
+        if self.obs.tracer is not None:
+            self.obs.emit(
+                obs_events.REQUEST_ARRIVED,
+                client.app_id,
+                request_id=request.request_id,
+            )
         if self._request_timeout_us is not None:
             self._timeout_events[request.request_id] = self.engine.schedule(
                 self._request_timeout_us,
@@ -278,6 +298,16 @@ class SharingSystem(abc.ABC):
                 finish=now,
             )
         )
+        self.obs.registry.histogram("latency/request_us").observe(
+            now - request.arrival_time
+        )
+        if self.obs.tracer is not None:
+            self.obs.emit(
+                obs_events.REQUEST_DONE,
+                client.app_id,
+                request_id=request.request_id,
+                latency_us=now - request.arrival_time,
+            )
         self._inflight_exit()
         self.on_request_finished(client, request)
         if not _is_open_loop(client.process):
@@ -343,6 +373,13 @@ class SharingSystem(abc.ABC):
             self.fault_stats.shed_timeout += 1
         else:
             self.fault_stats.shed_failed += 1
+        if self.obs.tracer is not None:
+            self.obs.emit(
+                obs_events.FAULT_REQUEST_SHED,
+                client.app_id,
+                request_id=request.request_id,
+                timeout=timeout,
+            )
         self._cancel_timeout(request)
         self._inflight_exit()
         # A closed-loop client keeps issuing requests after a shed, the
@@ -376,6 +413,13 @@ class SharingSystem(abc.ABC):
         killed = self.engine.kill_context(victim)
         self.registry.destroy(victim)
         self.fault_stats.context_crashes += 1
+        if self.obs.tracer is not None:
+            self.obs.emit(
+                obs_events.FAULT_CONTEXT_CRASH,
+                victim.owner,
+                context_id=victim.context_id,
+                kernels_killed=len(killed),
+            )
         self.on_context_crash(victim, killed)
 
     def _inflight_enter(self) -> None:

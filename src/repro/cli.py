@@ -8,12 +8,14 @@ Commands
 ``profile <model>``        print an application's offline profile summary
 ``timeline``               render an execution timeline for a small run
 ``sweep-quota``            sweep 2-app quota splits (Fig. 12-style rows)
+``trace``                  serve with decision tracing on; export Perfetto JSON
 
 Examples
 --------
 python -m repro serve --models R50 R50 --load C --systems GSLICE BLESS
 python -m repro profile BERT --partitions 18 9 5
 python -m repro timeline --models VGG R50 --width 100
+python -m repro trace --models R50 VGG --load B --out trace.json
 """
 
 from __future__ import annotations
@@ -74,6 +76,27 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def _trace_path(target: str, system: str, multiple: bool) -> str:
+    """Per-system trace filename: suffix the stem when comparing systems."""
+    if not multiple:
+        return target
+    from pathlib import Path
+
+    path = Path(target)
+    return str(path.with_name(f"{path.stem}-{system}{path.suffix}"))
+
+
+def _write_trace(tracer, target: str) -> str:
+    """Export a tracer's unified stream; format chosen by extension."""
+    from .obs import save_jsonl, save_perfetto
+
+    if target.endswith(".jsonl"):
+        count = save_jsonl(tracer.records, target)
+    else:
+        count = save_perfetto(tracer.records, target)
+    return f"{target} ({count} events)"
+
+
 def cmd_serve(args) -> int:
     apps = _apps_from_args(args.models, args.quotas, args.training)
     unknown = [s for s in args.systems if s not in INFERENCE_SYSTEMS]
@@ -81,16 +104,24 @@ def cmd_serve(args) -> int:
         print(f"unknown systems: {unknown}; choose from {list(INFERENCE_SYSTEMS)}")
         return 2
     from .gpusim.faults import resolve_fault_plan
+    from .obs import resolve_trace_target, resolve_tracing
 
     fault_plan = resolve_fault_plan(args.fault_plan, args.fault_seed)
     if fault_plan is not None:
         print(f"fault plan: {fault_plan.describe()}")
+    tracing = bool(args.trace) or resolve_tracing()
+    trace_target = resolve_trace_target(args.trace)
     results = []
     latencies = {}
     for name in args.systems:
-        system = INFERENCE_SYSTEMS[name](fault_plan=fault_plan)
+        system = INFERENCE_SYSTEMS[name](
+            fault_plan=fault_plan, trace=True if tracing else None
+        )
         result = system.serve(bind_load(apps, args.load, requests=args.requests))
         results.append(result)
+        if trace_target and system.obs.tracer is not None:
+            path = _trace_path(trace_target, name, multiple=len(args.systems) > 1)
+            print(f"  trace: {_write_trace(system.obs.tracer, path)}")
         latencies[name] = result.mean_of_app_means() / 1000.0
         per_app = ", ".join(
             f"{a}={v / 1000:.2f}ms" for a, v in result.per_app_mean_latency().items()
@@ -111,6 +142,38 @@ def cmd_serve(args) -> int:
     if args.output:
         save_results(results, args.output)
         print(f"\nsaved results to {args.output}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Serve one system with decision tracing on and export the trace."""
+    from .gpusim.faults import resolve_fault_plan
+    from .obs import analyze
+
+    if args.system not in INFERENCE_SYSTEMS:
+        print(f"unknown system {args.system!r}; choose from {list(INFERENCE_SYSTEMS)}")
+        return 2
+    apps = _apps_from_args(args.models, args.quotas, args.training)
+    fault_plan = resolve_fault_plan(args.fault_plan, args.fault_seed)
+    if fault_plan is not None:
+        print(f"fault plan: {fault_plan.describe()}")
+    system = INFERENCE_SYSTEMS[args.system](fault_plan=fault_plan, trace=True)
+    result = system.serve(bind_load(apps, args.load, requests=args.requests))
+    tracer = system.obs.tracer
+    if tracer is None:
+        print(f"{args.system} does not support decision tracing "
+              "(composite systems serve on private sub-engines)")
+        return 2
+    print(f"{args.system}: avg {result.mean_of_app_means() / 1000:.2f} ms, "
+          f"util {result.utilization:.1%}")
+    print(f"trace: {_write_trace(tracer, args.out)}")
+    if not args.out.endswith(".jsonl"):
+        print("open it at https://ui.perfetto.dev or chrome://tracing")
+    reports = analyze(tracer.records)
+    print("\npost-hoc analysis:")
+    for section, values in reports.items():
+        rendered = ", ".join(f"{k}={v:.4g}" for k, v in values.items())
+        print(f"  {section}: {rendered}")
     return 0
 
 
@@ -216,7 +279,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int,
         help="override the fault plan's seed (REPRO_FAULT_SEED)",
     )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record decision traces and write one Perfetto JSON per "
+        "system to PATH (.jsonl extension writes JSON lines; "
+        "default: the REPRO_TRACE environment variable)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "trace", help="serve one system with decision tracing and export"
+    )
+    p.add_argument("--models", nargs="+", required=True, choices=MODEL_NAMES)
+    p.add_argument("--quotas", nargs="+", type=float)
+    p.add_argument("--load", default="B", choices=["A", "B", "C"])
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--system", default="BLESS")
+    p.add_argument("--training", action="store_true")
+    p.add_argument(
+        "--out", default="trace.json",
+        help="output path (.json = Perfetto trace_event, .jsonl = JSON lines)",
+    )
+    p.add_argument("--fault-plan", help="inject faults (see `serve --fault-plan`)")
+    p.add_argument("--fault-seed", type=int)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("profile", help="offline-profile one application")
     p.add_argument("model", choices=MODEL_NAMES)

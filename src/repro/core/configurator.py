@@ -6,6 +6,16 @@ split of the GPU's ``N`` partitions among the ``K`` active requests
 (``C(N-1, K-1)`` compositions) — and returns the configuration with the
 smallest estimated duration.
 
+Candidates are scored with the paper's two estimators (§4.4.2, in
+``repro.core.predictors``): spatial splits with the
+**interference-free predictor** (Eq. 1, ``t̂ = max_j Σ_i t[n_j%][k_i^j]``
+— the longest per-request stack of restricted-kernel durations) and
+the unrestricted configuration with the **workload-equivalence
+predictor** (Eq. 2 — breadth-first waves at the jointly-activated SM
+fraction).  With tracing on (``docs/observability.md``) each decision
+is recorded as a ``config.chosen`` event carrying both estimates
+(``nsp_us`` = Eq. 2, ``sp_us`` = best Eq. 1) and the pick.
+
 For large ``K`` the composition count explodes (K=8, N=18 → 19 448);
 above ``config.max_enumerated_configs`` the determiner switches to a
 proportional seed plus steepest-descent local search, which finds the
@@ -160,6 +170,9 @@ class ExecutionConfigDeterminer:
         if cache is None and config.use_config_cache:
             cache = ExecutionConfigCache(config.config_cache_size)
         self.cache = cache
+        # Optional DecisionTracer (obs/), wired by the runtime's setup;
+        # ``config.chosen`` events are emitted only when attached.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Cache management
@@ -187,7 +200,15 @@ class ExecutionConfigDeterminer:
         squad: KernelSquad,
         profiles: Mapping[str, AppProfile],
     ) -> ExecutionConfig:
-        """Pick the fastest configuration for ``squad``."""
+        """Pick the fastest configuration for ``squad``.
+
+        Compares the unrestricted plan (scored with Eq. 2,
+        workload equivalence) against every strict spatial split
+        (each scored with Eq. 1, the max per-request stack) and
+        returns the argmin as an :class:`ExecutionConfig`.  Decisions
+        are memoized by :meth:`KernelSquad.signature`; a cache hit
+        skips the search entirely (§6.9's decision-latency budget).
+        """
         if not squad.app_ids:
             raise ValueError("cannot configure an empty squad")
         if self.cache is None:
@@ -196,7 +217,16 @@ class ExecutionConfigDeterminer:
         key, canonical_order = squad.signature(profiles, self.config)
         hit = self.cache.get(key)
         if hit is not None:
-            return hit.rebuild(canonical_order)
+            chosen = hit.rebuild(canonical_order)
+            if self.trace is not None:
+                self.trace.emit(
+                    "config.chosen",
+                    cache_hit=True,
+                    apps=len(squad.app_ids),
+                    predicted_us=chosen.predicted_duration_us,
+                    is_spatial=chosen.is_spatial,
+                )
+            return chosen
         chosen = self._determine_uncached(squad, profiles)
         self.cache.put(key, CachedDecision.from_config(chosen, canonical_order))
         return chosen
@@ -211,14 +241,59 @@ class ExecutionConfigDeterminer:
         # A single active request simply gets the whole GPU.
         if len(app_ids) == 1:
             duration = self._nsp_estimate(squad, profiles)
-            return ExecutionConfig(partitions=None, predicted_duration_us=duration)
+            chosen = ExecutionConfig(partitions=None, predicted_duration_us=duration)
+            self._emit_chosen(chosen, apps=1, candidates=1, nsp_us=duration)
+            return chosen
 
         nsp_duration = self._nsp_estimate(squad, profiles)
         best_sp = self._best_spatial(squad, profiles)
 
         if best_sp is not None and best_sp.predicted_duration_us < nsp_duration:
-            return self._attach_rears(best_sp, squad, profiles)
-        return ExecutionConfig(partitions=None, predicted_duration_us=nsp_duration)
+            chosen = self._attach_rears(best_sp, squad, profiles)
+        else:
+            chosen = ExecutionConfig(
+                partitions=None, predicted_duration_us=nsp_duration
+            )
+        self._emit_chosen(
+            chosen,
+            apps=len(app_ids),
+            candidates=1 + self._spatial_space_size(len(app_ids)),
+            nsp_us=nsp_duration,
+            sp_us=best_sp.predicted_duration_us if best_sp is not None else None,
+        )
+        return chosen
+
+    def _spatial_space_size(self, k: int) -> int:
+        """Size of the strict-spatial space searched for ``k`` requests."""
+        n = self.config.num_partitions
+        return composition_count(n, k) if k <= n else 0
+
+    def _emit_chosen(
+        self,
+        chosen: ExecutionConfig,
+        apps: int,
+        candidates: int,
+        nsp_us: float,
+        sp_us: Optional[float] = None,
+    ) -> None:
+        """Trace a fresh (cache-miss) configuration decision (§4.4).
+
+        ``nsp_us`` is the Eq. 2 workload-equivalence estimate of the
+        unrestricted plan; ``sp_us`` the best Eq. 1 stacked estimate over
+        the spatial space (None when no spatial plan exists).
+        """
+        if self.trace is None:
+            return
+        self.trace.emit(
+            "config.chosen",
+            cache_hit=False,
+            apps=apps,
+            candidates=candidates,
+            nsp_us=nsp_us,
+            sp_us=sp_us,
+            predicted_us=chosen.predicted_duration_us,
+            is_spatial=chosen.is_spatial,
+        )
 
     def _attach_rears(
         self,

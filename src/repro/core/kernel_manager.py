@@ -75,6 +75,8 @@ class ConcurrentKernelManager:
         self.context_crashes = 0
         self.oom_fallbacks = 0
         self.peak_context_memory_mb = 0
+        # Optional DecisionTracer (obs/), wired by the runtime's setup.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Context/queue management
@@ -126,6 +128,13 @@ class ConcurrentKernelManager:
             self.engine.remove_queue(queue)
             self.registry.destroy(queue.context)
             self.context_evictions += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "context.evicted",
+                    key[0],
+                    partition=key[1],
+                    context_id=queue.context.context_id,
+                )
             if memory.free_mb >= spec.mps_context_mb:
                 return
         raise OutOfMemoryError(
@@ -240,6 +249,13 @@ class ConcurrentKernelManager:
             # context, run the whole entry unrestricted (NSP for this
             # client only) and let a later squad retry spatial sharing.
             self.oom_fallbacks += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "oom.fallback",
+                    app_id,
+                    partition=partition,
+                    kernels=len(indices),
+                )
             self._launch_slice(entry, indices, self._default_queue[app_id], kernel_done)
             return
         if not rear:
@@ -251,6 +267,14 @@ class ConcurrentKernelManager:
         def front_done(kernel: KernelInstance) -> None:
             kernel_done(kernel)
             self.context_switches += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "semisp.switch",
+                    app_id,
+                    partition=partition,
+                    front_kernels=len(front),
+                    rear_kernels=len(rear),
+                )
             self.engine.schedule(
                 self.engine.device.spec.context_switch_us,
                 lambda: self._launch_slice(

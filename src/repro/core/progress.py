@@ -153,10 +153,14 @@ class RequestProgress:
         return risk + bonus
 
     def relative_progress(self, now: float) -> float:
-        """The paper's ``P̃ = P_r/P_e`` (smaller = more urgent).
+        """The paper's ``P̃ = P_r/P_e`` (§4.3.1; smaller = more urgent).
 
-        Expressed as scheduled plan time over elapsed time; equals 1.0
-        when the request exactly tracks its plan.
+        ``P_r`` is the request's real progress (plan time of the
+        kernels scheduled so far, ``tau[n%][k]``) and ``P_e`` the
+        expected progress (time elapsed since arrival), so ``P̃ = 1``
+        means the request exactly tracks its quota-isolated plan and
+        ``P̃ < 1`` means it is owed service.  This is the value the
+        tracer records per app in ``squad.composed`` events.
         """
         elapsed = max(1e-9, now - self.request.arrival_time)
         return self.tau_scheduled() / elapsed

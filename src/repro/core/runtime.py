@@ -38,7 +38,32 @@ from .squad import generate_squad
 
 
 class BlessRuntime(SharingSystem):
-    """Bubble-less spatial-temporal GPU sharing."""
+    """Bubble-less spatial-temporal GPU sharing.
+
+    Parameters (all optional):
+
+    * ``config`` — :class:`BlessConfig` hyper-parameters: squad cap,
+      Semi-SP split ratio, SLO targets, the Fig. 20 ablation switches;
+    * ``gpu_spec`` — the simulated GPU (defaults to the calibrated
+      A100-like spec);
+    * ``record_timeline`` — keep per-kernel execution records for the
+      ASCII timeline renderer;
+    * ``hw_policy`` — hardware block-dispatch policy (``"fair"``/
+      ``"fifo"``);
+    * ``validate`` — run invariant checks during serving;
+    * ``fault_plan`` — deterministic fault injection
+      (``docs/robustness.md``);
+    * ``trace`` — opt into decision tracing: ``True`` attaches a
+      :class:`~repro.obs.tracer.DecisionTracer` recording squad
+      composition (with every request's relative progress ``P̃``),
+      Eq. 1/Eq. 2 configuration decisions, Semi-SP switches, and fault
+      events on the simulated clock; ``None`` defers to the
+      ``REPRO_TRACE`` environment variable (``docs/observability.md``).
+
+    ``serve(bindings)`` returns a
+    :class:`~repro.metrics.stats.ServingResult`; the runtime's
+    observability state lives on ``self.obs``.
+    """
 
     name = "BLESS"
 
@@ -50,6 +75,7 @@ class BlessRuntime(SharingSystem):
         hw_policy: str = "fair",
         validate: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        trace: Optional[bool] = None,
     ):
         super().__init__(
             gpu_spec=gpu_spec,
@@ -57,6 +83,7 @@ class BlessRuntime(SharingSystem):
             hw_policy=hw_policy,
             validate=validate,
             fault_plan=fault_plan,
+            trace=trace,
         )
         self.config = config
         self.profiler = OfflineProfiler(config=config, gpu_spec=self.gpu_spec)
@@ -83,6 +110,10 @@ class BlessRuntime(SharingSystem):
         self.manager = ConcurrentKernelManager(
             self.engine, self.registry, self.config
         )
+        # Wire the run's decision tracer (None when tracing is off)
+        # into the components that emit config/context events.
+        self.determiner.trace = self.obs.tracer
+        self.manager.trace = self.obs.tracer
         self.profiles = {}
         self._partition_of = {}
         self._t_ref = {}
@@ -179,6 +210,19 @@ class BlessRuntime(SharingSystem):
             self._squad_inflight = False
             return
 
+        tracer = self.obs.tracer
+        if tracer is not None:
+            tracer.emit(
+                "squad.composed",
+                squad_id=self._squad_count + 1,
+                members=list(squad.app_ids),
+                kernels={a: squad.entry(a).count for a in squad.app_ids},
+                relative_progress={
+                    p.request.app.app_id: p.relative_progress(self.engine.now)
+                    for p in progresses
+                },
+            )
+
         if self.config.use_config_determiner and not self._profiles_stale:
             exec_config = self.determiner.determine(squad, self.profiles)
         else:
@@ -189,6 +233,17 @@ class BlessRuntime(SharingSystem):
             exec_config = quota_proportional_config(
                 squad, self.profiles, quotas, self.config
             )
+            if tracer is not None:
+                tracer.emit(
+                    "config.fallback",
+                    reason=(
+                        "profiles_stale"
+                        if self.config.use_config_determiner
+                        else "determiner_ablated"
+                    ),
+                    predicted_us=exec_config.predicted_duration_us,
+                    is_spatial=exec_config.is_spatial,
+                )
 
         # Host-side scheduling cost (§6.9): the host pipelines ~6.7us of
         # work per kernel with the GPU, so only the first kernel's
@@ -234,6 +289,15 @@ class BlessRuntime(SharingSystem):
 
     def _on_squad_done(self, execution: SquadExecution) -> None:
         self._last_squad_duration = execution.duration_us
+        if self.obs.tracer is not None:
+            self.obs.emit(
+                "squad.done",
+                squad_id=self._squad_count,
+                start_us=execution.started_at,
+                duration_us=execution.duration_us,
+                predicted_us=execution.config.predicted_duration_us,
+                is_spatial=execution.config.is_spatial,
+            )
         if self.fault_injector is not None and not self._profiles_stale:
             self._check_profile_drift(execution)
         self._schedule_round(from_idle=False)
@@ -273,22 +337,28 @@ class BlessRuntime(SharingSystem):
     # ------------------------------------------------------------------
     def serve(self, bindings):  # type: ignore[override]
         result = super().serve(bindings)
-        result.extras["squads"] = float(self._squad_count)
-        result.extras["spatial_squads"] = float(self._spatial_squads)
-        result.extras["context_switches"] = float(self.manager.context_switches)
-        result.extras["context_memory_mb"] = float(self.manager.context_memory_mb)
-        result.extras["peak_context_memory_mb"] = float(
-            self.manager.peak_context_memory_mb
+        # Runtime tallies flow through the metrics registry; the
+        # ``bless/`` namespace maps to the historical bare extras keys
+        # and ``config_cache/`` to ``config_cache_*`` via the shim, so
+        # the extras schema (and the golden files) stay byte-identical.
+        reg = self.obs.registry
+        reg.gauge("bless/squads").set(float(self._squad_count))
+        reg.gauge("bless/spatial_squads").set(float(self._spatial_squads))
+        reg.gauge("bless/context_switches").set(float(self.manager.context_switches))
+        reg.gauge("bless/context_memory_mb").set(float(self.manager.context_memory_mb))
+        reg.gauge("bless/peak_context_memory_mb").set(
+            float(self.manager.peak_context_memory_mb)
         )
-        result.extras["context_evictions"] = float(self.manager.context_evictions)
-        result.extras["oom_fallbacks"] = float(self.manager.oom_fallbacks)
+        reg.gauge("bless/context_evictions").set(float(self.manager.context_evictions))
+        reg.gauge("bless/oom_fallbacks").set(float(self.manager.oom_fallbacks))
         if self.fault_injector is not None:
-            result.extras["profile_stale"] = float(self._profiles_stale)
+            reg.gauge("bless/profile_stale").set(float(self._profiles_stale))
         if self._squad_count:
-            result.extras["kernels_per_squad"] = (
+            reg.gauge("bless/kernels_per_squad").set(
                 self._squad_kernel_total / self._squad_count
             )
         cache_stats = self.determiner.cache_stats
         if cache_stats is not None:
-            result.extras.update(cache_stats.as_dict(prefix="config_cache_"))
+            reg.import_mapping("config_cache", cache_stats.as_dict())
+        result.extras.update(self.obs.legacy_extras())
         return result

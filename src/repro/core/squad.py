@@ -2,10 +2,17 @@
 
 A kernel squad is a group of kernels drawn from the currently active
 requests.  In each generation step the scheduler picks the next kernel
-of the *laggiest* request (§ ``repro.core.progress``).  Generation
-stops when (1) the squad reaches the configured maximum kernel count,
-or (2) the selected kernel is the last kernel of a request — so request
-completions always coincide with squad boundaries.
+of the *laggiest* request — the paper orders requests by relative
+progress ``P̃ = P_r / P_e`` (smallest first); this reproduction uses
+the equivalent deadline-risk urgency of ``repro.core.progress``, which
+also admits SLO targets (§6.5).  Generation stops when (1) the squad
+reaches the configured maximum kernel count, or (2) the selected
+kernel is the last kernel of a request — so request completions always
+coincide with squad boundaries.
+
+With tracing on, each generated squad is recorded as a
+``squad.composed`` event whose ``progress`` arg carries every active
+request's ``P̃`` at composition time (``docs/observability.md``).
 """
 
 from __future__ import annotations

@@ -206,6 +206,10 @@ class SimEngine:
         self._per_kernel_callbacks: Dict[int, Callable[[KernelInstance], None]] = {}
         # Fault injection (None on the default, perfect-world path).
         self._faults = fault_injector
+        # Optional DecisionTracer (obs/): fault/decision events are
+        # emitted only from cold branches, guarded on this attribute,
+        # so the hot path is untouched when tracing is off.
+        self.trace = None
         # kernel uid -> event for kernels parked in retry backoff; their
         # queue stays blocked on them until the retry (or a kill) runs.
         self._pending_retries: Dict[int, _Event] = {}
@@ -395,6 +399,14 @@ class SimEngine:
         for kernel in kernels:
             kernel.failed = True
             self._kernels_failed += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "fault.launch_failed",
+                    kernel.app_id,
+                    request_id=kernel.request_id,
+                    seq=kernel.seq,
+                    name=kernel.name,
+                )
             callback = self._per_kernel_callbacks.pop(kernel.uid, None)
             for subscriber in self._failure_subscribers:
                 subscriber(kernel)
@@ -952,11 +964,22 @@ class SimEngine:
                 # stream — ordering within the queue is preserved.
                 kernel.attempts += 1
                 self._kernels_retried += 1
+                backoff = faults.backoff_us(kernel.attempts)
                 event = self.schedule(
-                    faults.backoff_us(kernel.attempts),
+                    backoff,
                     lambda: self._retry_kernel(queue, kernel),
                 )
                 self._pending_retries[kernel.uid] = event
+                if self.trace is not None:
+                    self.trace.emit(
+                        "fault.retry",
+                        kernel.app_id,
+                        request_id=kernel.request_id,
+                        seq=kernel.seq,
+                        name=kernel.name,
+                        attempt=kernel.attempts,
+                        backoff_us=backoff,
+                    )
                 return
             kernel.failed = True
         now = self.now
@@ -972,6 +995,15 @@ class SimEngine:
             # owning request), then drain the per-kernel callback so
             # squad/batch accounting never stalls.
             self._kernels_failed += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "fault.kernel_failed",
+                    kernel.app_id,
+                    request_id=kernel.request_id,
+                    seq=kernel.seq,
+                    name=kernel.name,
+                    attempts=kernel.attempts,
+                )
             for subscriber in self._failure_subscribers:
                 subscriber(kernel)
             if callback is not None:
@@ -1032,6 +1064,14 @@ class SimEngine:
             self.cancel(retry)
         kernel.failed = True
         self._kernels_killed += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "fault.kernel_killed",
+                kernel.app_id,
+                request_id=kernel.request_id,
+                seq=kernel.seq,
+                name=kernel.name,
+            )
         self._queue_of.pop(kernel.uid, None)
         return kernel, self._per_kernel_callbacks.pop(kernel.uid, None)
 

@@ -12,6 +12,7 @@ at the granularity BLESS's own profiler works at.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -108,9 +109,21 @@ def load_jsonl(path: Union[str, Path]) -> List[KernelEvent]:
 
 
 def summarize_trace(events: List[KernelEvent]) -> Dict[str, float]:
-    """Headline statistics of a kernel trace."""
+    """Headline statistics of a kernel trace.
+
+    NaN-safe on empty traces: the full key schema is always returned,
+    with counts at 0.0 and aggregate statistics at ``nan`` (mirroring
+    the empty-input behaviour of ``metrics.stats`` percentiles), so
+    downstream consumers never key-error or divide by zero.
+    """
     if not events:
-        return {"kernels": 0.0}
+        return {
+            "kernels": 0.0,
+            "span_us": math.nan,
+            "mean_duration_us": math.nan,
+            "mean_queue_wait_us": math.nan,
+            "apps": 0.0,
+        }
     durations = [e.duration_us for e in events]
     waits = [e.queue_wait_us for e in events]
     return {

@@ -1,0 +1,236 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and JSON lines.
+
+The Perfetto export lays a run out on three process tracks:
+
+* **pid 1 — scheduler**: squad slices (``squad.done`` spans), decision
+  instants (``squad.composed`` / ``config.chosen`` / ``config.fallback``
+  / ``semisp.switch`` / ``context.evicted`` / ``oom.fallback`` /
+  request lifecycle), and a dedicated fault thread;
+* **pid 2 — GPU contexts**: one thread per MPS context, carrying the
+  kernel slices that executed on it;
+* **pid 3 — apps**: one thread per application, carrying the same
+  kernel slices grouped by tenant (so per-app gaps/bubbles are visible
+  at a glance).
+
+Everything shares the simulated-microsecond clock, which is natively
+what ``trace_event`` ``ts``/``dur`` expect — load the file at
+https://ui.perfetto.dev or ``chrome://tracing`` unchanged.
+
+All ordering is deterministic (events sorted by timestamp then type,
+thread ids assigned in first-appearance order), so same-seed runs
+export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from . import events as ev
+from .events import TraceEvent
+
+# Process ids of the three tracks.
+PID_SCHEDULER = 1
+PID_CONTEXTS = 2
+PID_APPS = 3
+
+# Fixed scheduler-process threads.
+TID_DECISIONS = 1
+TID_SQUADS = 2
+TID_FAULTS = 3
+
+#: Decision types drawn as instants on the scheduler/decisions thread.
+_DECISION_INSTANTS = (
+    ev.REQUEST_ARRIVED,
+    ev.REQUEST_DONE,
+    ev.SQUAD_COMPOSED,
+    ev.CONFIG_CHOSEN,
+    ev.CONFIG_FALLBACK,
+    ev.SEMISP_SWITCH,
+    ev.CONTEXT_EVICTED,
+    ev.OOM_FALLBACK,
+)
+
+
+def normalize_request_ids(records: Sequence[TraceEvent]) -> List[TraceEvent]:
+    """Remap raw request ids to dense per-trace ordinals.
+
+    ``Request`` ids come from a process-global counter, so two
+    same-seed runs in one process produce different raw ids even though
+    the traces are otherwise identical.  Exports remap ids to 0, 1, ...
+    in order of first appearance on the time-sorted stream, making
+    same-seed trace files byte-identical regardless of what ran before
+    them in the process.
+    """
+    ordered = sorted(records, key=lambda r: (r.ts_us, r.etype, r.app_id))
+    mapping: Dict[Any, int] = {}
+    out: List[TraceEvent] = []
+    for record in ordered:
+        raw = record.args.get("request_id")
+        if raw is None:
+            out.append(record)
+            continue
+        dense = mapping.get(raw)
+        if dense is None:
+            dense = len(mapping)
+            mapping[raw] = dense
+        out.append(
+            TraceEvent(
+                ts_us=record.ts_us,
+                etype=record.etype,
+                app_id=record.app_id,
+                args={**record.args, "request_id": dense},
+            )
+        )
+    return out
+
+
+def _meta(pid: int, tid: int, key: str, name: str) -> Dict[str, Any]:
+    return {
+        "name": key,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def to_perfetto(records: Sequence[TraceEvent]) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from a unified stream."""
+    ordered = normalize_request_ids(records)
+
+    out: List[Dict[str, Any]] = []
+    out.append(_meta(PID_SCHEDULER, 0, "process_name", "scheduler"))
+    out.append(_meta(PID_SCHEDULER, TID_DECISIONS, "thread_name", "decisions"))
+    out.append(_meta(PID_SCHEDULER, TID_SQUADS, "thread_name", "squads"))
+    out.append(_meta(PID_SCHEDULER, TID_FAULTS, "thread_name", "faults"))
+    out.append(_meta(PID_CONTEXTS, 0, "process_name", "GPU contexts"))
+    out.append(_meta(PID_APPS, 0, "process_name", "apps"))
+
+    context_tids: Dict[int, int] = {}
+    app_tids: Dict[str, int] = {}
+
+    def context_tid(context_id: int) -> int:
+        tid = context_tids.get(context_id)
+        if tid is None:
+            tid = len(context_tids) + 1
+            context_tids[context_id] = tid
+            label = f"context {context_id}" if context_id >= 0 else "context ?"
+            out.append(_meta(PID_CONTEXTS, tid, "thread_name", label))
+        return tid
+
+    def app_tid(app_id: str) -> int:
+        tid = app_tids.get(app_id)
+        if tid is None:
+            tid = len(app_tids) + 1
+            app_tids[app_id] = tid
+            out.append(_meta(PID_APPS, tid, "thread_name", app_id or "?"))
+        return tid
+
+    for record in ordered:
+        if record.etype == ev.KERNEL:
+            args = record.args
+            start = float(args.get("start_us", record.ts_us))
+            dur = max(0.0, float(args.get("finish_us", record.ts_us)) - start)
+            slice_args = {
+                "seq": args.get("seq"),
+                "request_id": args.get("request_id"),
+                "sm_fraction": args.get("sm_fraction"),
+                "context_limit": args.get("context_limit"),
+            }
+            name = str(args.get("name", "kernel"))
+            out.append(
+                {
+                    "name": name,
+                    "cat": str(args.get("kind", "kernel")),
+                    "ph": "X",
+                    "ts": start,
+                    "dur": dur,
+                    "pid": PID_CONTEXTS,
+                    "tid": context_tid(int(args.get("context_id", -1))),
+                    "args": slice_args,
+                }
+            )
+            out.append(
+                {
+                    "name": name,
+                    "cat": str(args.get("kind", "kernel")),
+                    "ph": "X",
+                    "ts": start,
+                    "dur": dur,
+                    "pid": PID_APPS,
+                    "tid": app_tid(record.app_id),
+                    "args": slice_args,
+                }
+            )
+        elif record.etype == ev.SQUAD_DONE:
+            start = float(record.args.get("start_us", record.ts_us))
+            dur = max(0.0, record.ts_us - start)
+            out.append(
+                {
+                    "name": f"squad {record.args.get('squad_id', '?')}",
+                    "cat": "squad",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": dur,
+                    "pid": PID_SCHEDULER,
+                    "tid": TID_SQUADS,
+                    "args": dict(record.args),
+                }
+            )
+        elif record.is_fault:
+            out.append(
+                {
+                    "name": record.etype,
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": record.ts_us,
+                    "pid": PID_SCHEDULER,
+                    "tid": TID_FAULTS,
+                    "args": _instant_args(record),
+                }
+            )
+        elif record.etype in _DECISION_INSTANTS:
+            out.append(
+                {
+                    "name": record.etype,
+                    "cat": "decision",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": record.ts_us,
+                    "pid": PID_SCHEDULER,
+                    "tid": TID_DECISIONS,
+                    "args": _instant_args(record),
+                }
+            )
+        # Unknown event types are skipped, keeping the exporter forward
+        # compatible with taxonomy growth.
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _instant_args(record: TraceEvent) -> Dict[str, Any]:
+    args = dict(record.args)
+    if record.app_id:
+        args["app_id"] = record.app_id
+    return args
+
+
+def save_perfetto(
+    records: Sequence[TraceEvent], path: Union[str, Path]
+) -> int:
+    """Write the Perfetto JSON; returns the number of trace events."""
+    document = to_perfetto(records)
+    Path(path).write_text(json.dumps(document, indent=1) + "\n")
+    return len(document["traceEvents"])
+
+
+def save_jsonl(records: Sequence[TraceEvent], path: Union[str, Path]) -> int:
+    """The unified stream as JSON lines (time-sorted, ids normalized)."""
+    ordered = normalize_request_ids(records)
+    with Path(path).open("w") as handle:
+        for record in ordered:
+            handle.write(json.dumps(record.to_json_dict()) + "\n")
+    return len(ordered)

@@ -1,0 +1,118 @@
+"""The decision tracer: one stream for kernels *and* scheduler choices.
+
+:class:`DecisionTracer` extends the simulator's
+:class:`~repro.gpusim.tracing.KernelTracer` (so every kernel-level
+helper — ``by_app``, ``total_queue_wait_us``, ``save_jsonl`` — keeps
+working) and additionally records every scheduler decision and fault
+event as a :class:`~repro.obs.events.TraceEvent` on the **same
+simulated clock**.  The unified stream (``records``) is what the
+exporters and the post-hoc analyzer consume.
+
+Attachment is by reference, not subclassing: components that can emit
+decisions (``SimEngine``, ``ExecutionConfigDeterminer``,
+``ConcurrentKernelManager``, the serving harness) each carry a
+``trace`` attribute that defaults to ``None``.  Emission sites are
+guarded with ``if self.trace is not None`` so a run without tracing
+pays a single attribute load per *cold* branch and nothing on the hot
+path (pinned by ``benchmarks/test_engine_perf.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..gpusim.engine import SimEngine
+from ..gpusim.kernel import KernelInstance
+from ..gpusim.tracing import KernelTracer
+from .events import KERNEL, TraceEvent
+
+
+class DecisionTracer(KernelTracer):
+    """Records kernel completions plus decision/fault events.
+
+    ``events`` (inherited) stays a pure :class:`KernelEvent` list;
+    ``records`` is the unified :class:`TraceEvent` stream with kernel
+    records interleaved at their completion timestamps.
+    """
+
+    def __init__(self, engine: SimEngine):
+        super().__init__(engine)
+        self.records: List[TraceEvent] = []
+        engine.trace = self
+
+    # -- kernel records ------------------------------------------------
+    def _on_finish(self, kernel: KernelInstance) -> None:
+        super()._on_finish(kernel)
+        event = self.events[-1]
+        self.records.append(
+            TraceEvent(
+                ts_us=event.finish_us,
+                etype=KERNEL,
+                app_id=event.app_id,
+                args={
+                    "name": event.name,
+                    "request_id": event.request_id,
+                    "seq": event.seq,
+                    "kind": event.kind,
+                    "enqueue_us": event.enqueue_us,
+                    "start_us": event.start_us,
+                    "finish_us": event.finish_us,
+                    "sm_fraction": event.sm_fraction,
+                    "context_id": event.context_id,
+                    "context_limit": event.context_limit,
+                },
+            )
+        )
+
+    # -- decision records ----------------------------------------------
+    def emit(self, etype: str, app_id: str = "", **args: Any) -> None:
+        """Record a decision/fault event stamped with the engine clock."""
+        self.records.append(
+            TraceEvent(ts_us=self.engine.now, etype=etype, app_id=app_id, args=args)
+        )
+
+    # -- views ---------------------------------------------------------
+    def decisions(self) -> List[TraceEvent]:
+        """The stream without kernel records."""
+        return [r for r in self.records if not r.is_kernel]
+
+    def of_type(self, etype: str) -> List[TraceEvent]:
+        return [r for r in self.records if r.etype == etype]
+
+    # -- export --------------------------------------------------------
+    def save_records_jsonl(self, path: Union[str, Path]) -> int:
+        """The unified stream, one JSON object per line.
+
+        Time-sorted with request ids normalized to per-trace ordinals
+        (see :func:`repro.obs.exporters.normalize_request_ids`), so
+        same-seed runs write byte-identical files.
+        """
+        from .exporters import save_jsonl
+
+        return save_jsonl(self.records, path)
+
+
+def load_records_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
+    """Re-load a unified stream written by :meth:`save_records_jsonl`."""
+    records: List[TraceEvent] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        raw: Dict[str, Any] = json.loads(line)
+        records.append(
+            TraceEvent(
+                ts_us=raw["ts_us"],
+                etype=raw["type"],
+                app_id=raw.get("app_id", ""),
+                args=raw.get("args", {}),
+            )
+        )
+    return records
+
+
+def records_as_dicts(records: List[TraceEvent]) -> List[Dict[str, Any]]:
+    """Plain-dict view (handy for tests and ad-hoc notebooks)."""
+    return [asdict(r) for r in records]

@@ -1,5 +1,7 @@
 """Tests for the structured kernel-event tracer."""
 
+import math
+
 import pytest
 
 from repro.apps.models import inference_app
@@ -71,7 +73,18 @@ class TestTracer:
         assert summary["kernels"] == 5
         assert summary["mean_duration_us"] == pytest.approx(20.0)
         assert summary["apps"] == 1
-        assert summarize_trace([]) == {"kernels": 0.0}
+
+    def test_summary_empty_trace_nan_safe(self):
+        # Empty traces keep the full key schema: counts at 0, aggregate
+        # statistics NaN — never a crash or a missing key.
+        empty = summarize_trace([])
+        full = summarize_trace(run_traced(1).events)
+        assert set(empty) == set(full)
+        assert empty["kernels"] == 0.0
+        assert empty["apps"] == 0.0
+        assert math.isnan(empty["span_us"])
+        assert math.isnan(empty["mean_duration_us"])
+        assert math.isnan(empty["mean_queue_wait_us"])
 
     def test_trace_of_full_bless_run(self):
         apps = [

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Check markdown docs for broken relative links and anchors.
+
+Scans every ``*.md`` under the repo root and ``docs/`` and verifies:
+
+* relative links ``[text](path)`` point at files that exist;
+* fragment links ``[text](path#anchor)`` (and in-page ``[t](#anchor)``)
+  resolve to a heading in the target file, using GitHub's slug rules
+  (lowercase, spaces to dashes, punctuation stripped, ``-1`` suffixes
+  for duplicates);
+* reference-style definitions ``[label]: path`` resolve the same way.
+
+External links (``http(s)://``, ``mailto:``) are not fetched.  Exits
+non-zero listing every broken link — this is the CI docs gate
+(``.github/workflows/ci.yml``).
+
+Usage: python tools/check_docs.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+# [text](target) — skip images' leading "!" separately; images use the
+# same path rules so they are checked too.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REF_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's anchor slug for a heading text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    cached = cache.get(path)
+    if cached is not None:
+        return cached
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    seen: Dict[str, int] = {}
+    slugs = {github_slug(m.group(2), seen) for m in _HEADING.finditer(text)}
+    cache[path] = slugs
+    return slugs
+
+
+def markdown_files(root: Path) -> List[Path]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check(root: Path) -> List[str]:
+    errors: List[str] = []
+    anchor_cache: Dict[Path, Set[str]] = {}
+    for md in markdown_files(root):
+        text = _CODE_FENCE.sub("", md.read_text(encoding="utf-8"))
+        targets = [m.group(1) for m in _INLINE_LINK.finditer(text)]
+        targets += [m.group(1) for m in _REF_DEF.finditer(text)]
+        for target in targets:
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("<"):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (md.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{md.relative_to(root)}: broken link -> {target}")
+                    continue
+            else:
+                resolved = md.resolve()
+            if fragment:
+                if resolved.suffix != ".md" or not resolved.is_file():
+                    continue  # anchors into non-markdown are not checked
+                if fragment.lower() not in anchors_of(resolved, anchor_cache):
+                    errors.append(
+                        f"{md.relative_to(root)}: broken anchor -> {target}"
+                    )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    errors = check(root)
+    checked = len(markdown_files(root))
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"\n{len(errors)} broken link(s) across {checked} files", file=sys.stderr)
+        return 1
+    print(f"docs OK: {checked} markdown files, all relative links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,33 @@
+"""Cluster scale-out benchmark (§4.2.2 online orchestrator, ISSUE 5).
+
+Runs the CI-sized ``cluster_scale`` sweep once under pytest-benchmark
+timing, records the headline scenario numbers in ``extra_info``, and
+asserts the orchestrator's qualitative shape: every scenario keeps the
+cluster-wide request books balanced, and scaling the pool from one GPU
+to two spreads the same per-GPU workload without inflating latency.
+"""
+
+from repro.experiments.cluster_scale import run_quick
+from conftest import run_once
+
+
+def test_cluster_scale(benchmark):
+    data = run_once(benchmark, run_quick, jobs=2)
+
+    assert len(data) == 2
+    for scenario, stats in data.items():
+        assert stats["completed"] + stats["shed"] == stats["offered"], scenario
+        assert 0.0 < stats["util"] <= 1.0, scenario
+
+    one = data["gpus=1 policy=best_fit load=C"]
+    two = data["gpus=2 policy=best_fit load=C"]
+    # Two tenant groups on two GPUs serve 3x the requests (group 0
+    # serves both epochs) at roughly single-GPU latency: GPUs do not
+    # interfere, so scale-out must not inflate the mean.
+    assert two["completed"] == 3 * one["completed"]
+    assert two["mean_ms"] < 1.25 * one["mean_ms"]
+
+    benchmark.extra_info["single_gpu_mean_ms"] = round(one["mean_ms"], 3)
+    benchmark.extra_info["dual_gpu_mean_ms"] = round(two["mean_ms"], 3)
+    benchmark.extra_info["dual_gpu_util"] = round(two["util"], 4)
+    benchmark.extra_info["migrations"] = two["migrations"]

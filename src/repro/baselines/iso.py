@@ -31,18 +31,15 @@ class ISOSystem(SharingSystem):
         raise AssertionError("ISOSystem overrides serve()")
 
     def serve(self, bindings: Sequence[WorkloadBinding]) -> ServingResult:
-        merged = ServingResult(system=self.name)
-        makespan = 0.0
-        busy = 0.0
+        # Each partition serves on a private engine; the sub-results
+        # merge as slices of ONE GPU (num_slots=1), and the merge layer
+        # keeps every sub-engine's extras (fault/engine counters) so
+        # the completed + shed == arrived invariant holds for ISO too.
+        results = []
         for binding in bindings:
             sub = GSLICESystem(gpu_spec=self.gpu_spec, fault_plan=self.fault_plan)
-            result = sub.serve([binding])
-            merged.records.extend(result.records)
-            makespan = max(makespan, result.makespan_us)
-            busy += result.utilization * result.makespan_us
-        merged.makespan_us = makespan
-        merged.utilization = min(1.0, busy / makespan) if makespan > 0 else 0.0
-        return merged
+            results.append(sub.serve([binding]))
+        return ServingResult.merge(results, system=self.name, num_slots=1)
 
 
 def iso_targets_us(

@@ -32,26 +32,22 @@ class MIGSystem(SharingSystem):
 
     def serve(self, bindings: Sequence[WorkloadBinding]) -> ServingResult:
         instances = mig.assign_slices([b.app.quota for b in bindings])
-        merged = ServingResult(system=self.name)
-        makespan = 0.0
-        busy = 0.0
+        results = []
         for binding, instance in zip(bindings, instances):
             # Physically isolated: serve on a private engine whose
             # partition equals the slice's compute share.  MIG slices
             # also have private bandwidth, which a solo run already has.
             sliced = binding.app.with_quota(instance.sm_fraction)
             sub = GSLICESystem(gpu_spec=self.gpu_spec, fault_plan=self.fault_plan)
-            result = sub.serve(
-                [WorkloadBinding(app=sliced, process_factory=binding.process_factory)]
+            results.append(
+                sub.serve(
+                    [WorkloadBinding(app=sliced, process_factory=binding.process_factory)]
+                )
             )
-            merged.records.extend(result.records)
-            makespan = max(makespan, result.makespan_us)
-            busy += result.utilization * result.makespan_us
-            for key, value in result.extras.items():
-                if key.startswith("engine_"):
-                    merged.extras[key] = merged.extras.get(key, 0.0) + value
-        merged.makespan_us = makespan
-        merged.utilization = min(1.0, busy / makespan) if makespan > 0 else 0.0
+        # Slices of ONE physical GPU: merge with num_slots=1.  The merge
+        # layer carries every sub-engine's extras (previously only the
+        # engine_* counters survived, dropping the fault accounting).
+        merged = ServingResult.merge(results, system=self.name, num_slots=1)
         merged.extras["slices"] = float(
             sum(instance.compute_slices for instance in instances)
         )

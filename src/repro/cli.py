@@ -177,6 +177,92 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Serve a workload on a multi-GPU cluster (§4.2.2 orchestrator)."""
+    from .cluster import (
+        AppArrival,
+        ClusterController,
+        OnlineClusterController,
+        PlacementError,
+        PlacementPolicy,
+    )
+    from .gpusim.faults import resolve_fault_plan
+    from .obs import resolve_trace_target, resolve_tracing
+
+    if args.system not in INFERENCE_SYSTEMS:
+        print(f"unknown system {args.system!r}; choose from {list(INFERENCE_SYSTEMS)}")
+        return 2
+    apps = _apps_from_args(args.models, args.quotas, args.training)
+    bindings = bind_load(apps, args.load, requests=args.requests)
+    fault_plan = resolve_fault_plan(args.fault_plan, args.fault_seed)
+    if fault_plan is not None:
+        print(f"fault plan: {fault_plan.describe()}")
+    system_kwargs = {"fault_plan": fault_plan} if fault_plan is not None else {}
+    tracing = bool(args.trace) or resolve_tracing()
+    trace_target = resolve_trace_target(args.trace)
+    policy = PlacementPolicy(args.policy)
+
+    if args.online:
+        # One application arrives per epoch, in --models order.
+        schedule = [
+            AppArrival(binding=binding, arrive_epoch=index)
+            for index, binding in enumerate(bindings)
+        ]
+        controller = OnlineClusterController(
+            num_gpus=args.gpus,
+            policy=policy,
+            system_factory=INFERENCE_SYSTEMS[args.system],
+            system_kwargs=system_kwargs,
+            migrate=args.migrate,
+            trace=True if tracing else None,
+        )
+        result = controller.serve(schedule, epochs=args.epochs, jobs=args.jobs)
+        stats = result.stats
+        print(
+            f"online: {stats.epochs} epochs, "
+            f"{stats.apps_admitted}/{stats.apps_arrived} admitted "
+            f"({stats.apps_degraded} degraded, {stats.apps_shed} shed, "
+            f"{stats.migrations} migrations)"
+        )
+        if result.shed_apps:
+            print(f"shed apps: {', '.join(result.shed_apps)}")
+        final_placement = result.placements[-1] if result.placements else {}
+    else:
+        controller = ClusterController(
+            num_gpus=args.gpus,
+            policy=policy,
+            system_factory=INFERENCE_SYSTEMS[args.system],
+            system_kwargs=system_kwargs,
+            trace=True if tracing else None,
+        )
+        try:
+            result = controller.serve(bindings, jobs=args.jobs)
+        except PlacementError as error:
+            print(f"placement failed: {error}")
+            print("(try more --gpus, smaller --quotas, or --online shedding)")
+            return 2
+        final_placement = result.placements
+
+    merged = result.merged
+    for gpu_index in sorted(final_placement):
+        print(f"  GPU{gpu_index}: {', '.join(final_placement[gpu_index])}")
+    line = (
+        f"{merged.system}: avg {merged.mean_of_app_means() / 1000:.2f} ms, "
+        f"util {merged.utilization:.1%} over {args.gpus} GPUs, "
+        f"{len(merged.records)} requests"
+    )
+    if fault_plan is not None:
+        shed = merged.extras.get("fault_shed_requests", 0.0)
+        arrived = merged.extras.get("fault_requests_arrived", 0.0)
+        line += f"  [arrived={arrived:.0f} shed={shed:.0f}]"
+    print(line)
+    if trace_target and controller.tracer is not None:
+        print(f"trace: {_write_trace(controller.tracer, trace_target)}")
+        if not trace_target.endswith(".jsonl"):
+            print("open it at https://ui.perfetto.dev (per-GPU tracks)")
+    return 0
+
+
 def cmd_profile(args) -> int:
     maker = training_app if args.training else inference_app
     app = maker(args.model)
@@ -304,6 +390,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", help="inject faults (see `serve --fault-plan`)")
     p.add_argument("--fault-seed", type=int)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "cluster", help="serve a workload across a multi-GPU cluster (§4.2.2)"
+    )
+    p.add_argument("--gpus", type=int, default=2, help="GPUs in the pool")
+    p.add_argument("--models", nargs="+", required=True, choices=MODEL_NAMES)
+    p.add_argument("--quotas", nargs="+", type=float)
+    p.add_argument(
+        "--policy",
+        default="best_fit",
+        choices=["first_fit", "best_fit", "worst_fit"],
+    )
+    p.add_argument("--load", default="B", choices=["A", "B", "C"])
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--system", default="BLESS")
+    p.add_argument("--training", action="store_true")
+    p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    p.add_argument(
+        "--online",
+        action="store_true",
+        help="online mode: apps arrive one per epoch through the "
+        "admission ladder (degrade -> migrate -> shed)",
+    )
+    p.add_argument(
+        "--epochs", type=int, default=None,
+        help="online horizon (default: derived from the schedule)",
+    )
+    p.add_argument(
+        "--migrate", action="store_true",
+        help="rebalance one app between epochs when it shrinks the quota spread",
+    )
+    p.add_argument("--fault-plan", help="inject faults (see `serve --fault-plan`)")
+    p.add_argument("--fault-seed", type=int)
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record cluster + per-GPU decision traces to PATH "
+        "(.jsonl = JSON lines, else Perfetto trace_event)",
+    )
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("profile", help="offline-profile one application")
     p.add_argument("model", choices=MODEL_NAMES)

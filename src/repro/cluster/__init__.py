@@ -1,6 +1,18 @@
-"""Multi-GPU extension (§4.2.2): placement controller + per-GPU runtimes."""
+"""Multi-GPU extension (§4.2.2): placement, per-GPU runtimes, online orchestration."""
 
-from .controller import ClusterController, ClusterResult
+from .controller import (
+    ClusterController,
+    ClusterResult,
+    serve_gpus,
+    system_name,
+)
+from .online import (
+    AppArrival,
+    ClusterStats,
+    OnlineClusterController,
+    OnlineClusterResult,
+    offered_requests,
+)
 from .placement import (
     ClusterPlacer,
     GPUSlot,
@@ -9,10 +21,17 @@ from .placement import (
 )
 
 __all__ = [
+    "AppArrival",
     "ClusterController",
     "ClusterPlacer",
     "ClusterResult",
+    "ClusterStats",
     "GPUSlot",
+    "OnlineClusterController",
+    "OnlineClusterResult",
     "PlacementError",
     "PlacementPolicy",
+    "offered_requests",
+    "serve_gpus",
+    "system_name",
 ]

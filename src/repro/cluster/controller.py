@@ -3,22 +3,113 @@
 ``ClusterController`` replicates a sharing system's runtime per GPU,
 places applications via :class:`ClusterPlacer`, splits a cluster-wide
 workload by placement, serves every GPU independently (GPUs do not
-interfere with one another), and merges the results.
+interfere with one another), and merges the results with
+:meth:`ServingResult.merge`.
+
+Because the per-GPU simulations share no state, they fan out over the
+same :class:`~repro.parallel.ServeCell` process pool the experiment
+harness uses (``jobs=`` / ``REPRO_JOBS``); results are merged in GPU
+slot-index order, so parallel output is byte-identical to serial.
+
+When tracing is on the controller owns a :class:`ClusterTracer`: its
+own decisions (``cluster.place`` …) land on the cluster clock, and each
+GPU's :class:`DecisionTracer` stream is absorbed with a ``gpu`` tag so
+the Perfetto export lays every GPU out on its own track.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.base import SharingSystem
 from ..core.runtime import BlessRuntime
 from ..gpusim.device import GPUSpec
 from ..metrics.stats import ServingResult
+from ..obs import ClusterTracer, resolve_tracing
+from ..obs.events import CLUSTER_PLACE
+from ..parallel import ServeCell, cells_are_picklable, resolve_jobs, run_cells
 from ..workloads.suite import WorkloadBinding
 from .placement import ClusterPlacer, PlacementPolicy
 
-SystemFactory = Callable[[], SharingSystem]
+SystemFactory = Callable[..., SharingSystem]
+
+
+def _rebuild_bindings(
+    bindings: Tuple[WorkloadBinding, ...],
+) -> List[WorkloadBinding]:
+    # Module-level bindings factory: ServeCell fields must pickle, and
+    # partial(_rebuild_bindings, tuple_of_bindings) does while a lambda
+    # closing over the list would not.
+    return list(bindings)
+
+
+def system_name(
+    system_factory: SystemFactory, system_kwargs: Optional[dict] = None
+) -> str:
+    """The display name of the systems a factory builds.
+
+    Sharing systems carry ``name`` as a class attribute, so the common
+    case needs no instantiation; opaque callables (a partial, a lambda
+    in tests) fall back to building one instance.
+    """
+    name = getattr(system_factory, "name", None)
+    if isinstance(name, str):
+        return name
+    return system_factory(**(system_kwargs or {})).name
+
+
+def serve_gpus(
+    gpu_bindings: Sequence[Tuple[int, Sequence[WorkloadBinding]]],
+    system_factory: SystemFactory,
+    system_kwargs: Optional[dict] = None,
+    jobs: Optional[int] = None,
+    tracer: Optional[ClusterTracer] = None,
+    offset_us: float = 0.0,
+) -> Dict[int, ServingResult]:
+    """Serve each GPU's bindings on a private system instance.
+
+    ``gpu_bindings`` is ``[(gpu_index, bindings), ...]``; each entry
+    becomes one :class:`ServeCell` executed through the shared process
+    pool.  Bindings that cannot pickle (a test handed us closures) run
+    serially instead of failing one round-trip per GPU.
+
+    Tracing forces the in-process path: per-GPU tracer records never
+    cross the pickle boundary (``ServingResult`` does not carry them),
+    and they must be absorbed onto the cluster clock here anyway.
+    """
+    kwargs = dict(system_kwargs or {})
+    per_gpu: Dict[int, ServingResult] = {}
+    if tracer is not None:
+        for gpu_index, bindings in gpu_bindings:
+            system = system_factory(
+                **{**kwargs, "trace": True, "gpu_index": gpu_index}
+            )
+            per_gpu[gpu_index] = system.serve(list(bindings))
+            if system.obs.tracer is not None:
+                tracer.absorb(
+                    system.obs.tracer.records,
+                    offset_us=offset_us,
+                    gpu=gpu_index,
+                )
+        return per_gpu
+    cells = [
+        ServeCell(
+            key=gpu_index,
+            system=f"gpu{gpu_index}",
+            system_factory=system_factory,
+            bindings_factory=partial(_rebuild_bindings, tuple(bindings)),
+            system_kwargs=kwargs,
+        )
+        for gpu_index, bindings in gpu_bindings
+    ]
+    if resolve_jobs(jobs) > 1 and not cells_are_picklable(cells):
+        jobs = 1
+    results = run_cells(cells, jobs=jobs)
+    for (gpu_index, _), result in zip(gpu_bindings, results):
+        per_gpu[gpu_index] = result
+    return per_gpu
 
 
 @dataclass
@@ -43,13 +134,31 @@ class ClusterController:
         gpu_spec: Optional[GPUSpec] = None,
         policy: PlacementPolicy = PlacementPolicy.BEST_FIT,
         system_factory: SystemFactory = BlessRuntime,
+        system_kwargs: Optional[dict] = None,
+        trace: Optional[bool] = None,
     ):
         self.gpu_spec = gpu_spec or GPUSpec()
         self.placer = ClusterPlacer(num_gpus, self.gpu_spec, policy)
         self.system_factory = system_factory
+        self.system_kwargs = dict(system_kwargs or {})
+        self.tracing = resolve_tracing(trace)
+        self.tracer: Optional[ClusterTracer] = (
+            ClusterTracer() if self.tracing else None
+        )
 
-    def serve(self, bindings: Sequence[WorkloadBinding]) -> ClusterResult:
-        """Place every binding's app, then serve each GPU to completion."""
+    @property
+    def num_gpus(self) -> int:
+        return len(self.placer.slots)
+
+    def serve(
+        self, bindings: Sequence[WorkloadBinding], jobs: Optional[int] = None
+    ) -> ClusterResult:
+        """Place every binding's app, then serve each GPU to completion.
+
+        ``jobs`` follows the harness-wide policy (None → ``REPRO_JOBS``
+        → serial); GPUs serve concurrently across the process pool with
+        byte-identical output to a serial run.
+        """
         if not bindings:
             raise ValueError("cannot serve an empty cluster workload")
         by_app = {binding.app.app_id: binding for binding in bindings}
@@ -57,22 +166,39 @@ class ClusterController:
             raise ValueError("duplicate app_ids in cluster workload")
 
         placements = self.placer.place_all([b.app for b in bindings])
+        if self.tracer is not None:
+            self.tracer.now = 0.0
+            for gpu_index in sorted(placements):
+                for app in placements[gpu_index]:
+                    self.tracer.emit(
+                        CLUSTER_PLACE,
+                        app_id=app.app_id,
+                        gpu=gpu_index,
+                        quota=app.quota,
+                        policy=self.placer.policy.value,
+                    )
 
-        merged = ServingResult(system=f"cluster/{self.system_factory().name}")
-        per_gpu: Dict[int, ServingResult] = {}
-        makespan = 0.0
-        busy = 0.0
-        for gpu_index, apps in placements.items():
-            gpu_bindings = [by_app[app.app_id] for app in apps]
-            system = self.system_factory()
-            result = system.serve(gpu_bindings)
-            per_gpu[gpu_index] = result
-            merged.records.extend(result.records)
-            makespan = max(makespan, result.makespan_us)
-            busy += result.utilization * result.makespan_us
-        merged.makespan_us = makespan
-        merged.utilization = (
-            min(1.0, busy / (makespan * len(per_gpu))) if makespan > 0 else 0.0
+        gpu_bindings = [
+            (gpu_index, [by_app[app.app_id] for app in apps])
+            for gpu_index, apps in sorted(placements.items())
+        ]
+        per_gpu = serve_gpus(
+            gpu_bindings,
+            self.system_factory,
+            self.system_kwargs,
+            jobs=jobs,
+            tracer=self.tracer,
+        )
+        # Merge in GPU slot-index order — deterministic regardless of
+        # pool completion order.  num_slots counts idle GPUs too: a
+        # pool of three GPUs serving one app is one-third utilised,
+        # not fully utilised (the historical len(per_gpu) denominator
+        # bug), and merged extras keep the fault/engine counters every
+        # GPU accumulated (previously dropped entirely).
+        merged = ServingResult.merge(
+            [per_gpu[gpu_index] for gpu_index, _ in gpu_bindings],
+            system=f"cluster/{system_name(self.system_factory, self.system_kwargs)}",
+            num_slots=len(self.placer.slots),
         )
         return ClusterResult(
             merged=merged,

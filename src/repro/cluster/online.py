@@ -1,0 +1,379 @@
+"""Online cluster orchestration: arrivals, departures, shedding, migration.
+
+The §4.2.2 controller of :mod:`.controller` serves one static workload.
+Real clusters are online: applications arrive over time, run for a
+while, and depart.  This module models that as an **epoch loop** — an
+epoch is one pass of every active application's workload, and the
+cluster clock advances by each epoch's makespan (epoch ``e`` starts at
+the cumulative makespan of epochs ``0..e-1``).
+
+Per epoch the orchestrator:
+
+1. processes departures (``depart_epoch == e``), freeing their GPUs;
+2. optionally performs one load-balancing migration between epochs
+   (GPUs are drained at epoch boundaries, so moving an app is free);
+3. admits arrivals (``arrive_epoch == e``) through a load-shedding
+   ladder: place at full quota → retry at degraded quotas (the PR-3
+   graceful-degradation idea applied at cluster scope) → after a
+   defragmenting migration, retry once more → shed the application,
+   accounting its offered requests so ``completed + shed == arrived``
+   holds cluster-wide;
+4. serves every occupied GPU (optionally in parallel via the shared
+   process pool) and merges the epoch's results.
+
+Epoch results chain into one :class:`ServingResult` via
+:meth:`ServingResult.merge` with per-epoch cluster-clock offsets, and
+every decision lands on the :class:`ClusterTracer` (``cluster.place`` /
+``cluster.shed`` / ``cluster.migrate`` / ``cluster.depart`` /
+``cluster.epoch``) for the Perfetto per-GPU view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..apps.application import Application
+from ..core.runtime import BlessRuntime
+from ..gpusim.device import GPUSpec
+from ..metrics.stats import ServingResult
+from ..obs import ClusterTracer, resolve_tracing
+from ..obs.events import (
+    CLUSTER_DEPART,
+    CLUSTER_EPOCH,
+    CLUSTER_MIGRATE,
+    CLUSTER_PLACE,
+    CLUSTER_SHED,
+)
+from ..workloads.arrivals import ArrivalProcess, drain_process
+from ..workloads.suite import WorkloadBinding, estimated_solo_us
+from .controller import SystemFactory, serve_gpus, system_name
+from .placement import ClusterPlacer, PlacementPolicy
+
+#: Quota multipliers the admission ladder tries, in order, when an
+#: application does not fit at its requested quota (cluster-scope
+#: analogue of the robustness layer's degraded relaunches).
+DEFAULT_DEGRADE_FACTORS: Tuple[float, ...] = (0.75, 0.5)
+
+
+@dataclass(frozen=True)
+class AppArrival:
+    """One application's lifetime in the online schedule.
+
+    The app is active for epochs ``[arrive_epoch, depart_epoch)``;
+    ``depart_epoch=None`` means it stays until the end of the run.
+    """
+
+    binding: WorkloadBinding
+    arrive_epoch: int = 0
+    depart_epoch: Optional[int] = None
+
+    @property
+    def app_id(self) -> str:
+        return self.binding.app.app_id
+
+
+@dataclass
+class ClusterStats:
+    """Orchestrator-level accounting (admission, shedding, churn)."""
+
+    epochs: int = 0
+    apps_arrived: int = 0
+    apps_admitted: int = 0
+    apps_degraded: int = 0
+    apps_shed: int = 0
+    apps_departed: int = 0
+    migrations: int = 0
+    # Offered requests of shed applications — the load the cluster
+    # turned away at admission (distinct from the per-request
+    # fault_shed_* counters the runtimes report for admitted apps).
+    requests_shed: int = 0
+
+    def as_dict(self, prefix: str = "cluster_") -> Dict[str, float]:
+        return {
+            f"{prefix}epochs": float(self.epochs),
+            f"{prefix}apps_arrived": float(self.apps_arrived),
+            f"{prefix}apps_admitted": float(self.apps_admitted),
+            f"{prefix}apps_degraded": float(self.apps_degraded),
+            f"{prefix}apps_shed": float(self.apps_shed),
+            f"{prefix}apps_departed": float(self.apps_departed),
+            f"{prefix}migrations": float(self.migrations),
+            f"{prefix}requests_shed": float(self.requests_shed),
+        }
+
+
+@dataclass
+class OnlineClusterResult:
+    """Merged outcome of an online serving run."""
+
+    merged: ServingResult
+    per_epoch: List[ServingResult]
+    placements: List[Dict[int, List[str]]]
+    stats: ClusterStats
+    shed_apps: List[str] = field(default_factory=list)
+    degraded_quotas: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.merged.mean_of_app_means() / 1000.0
+
+
+def offered_requests(binding: WorkloadBinding) -> int:
+    """How many requests a binding would submit in one epoch.
+
+    Used to account shed applications: draining a fresh arrival process
+    against the app's estimated solo latency bounds the load the
+    cluster refused, keeping ``completed + shed == arrived`` meaningful
+    at cluster scope even for apps that never ran.
+    """
+    process: ArrivalProcess = binding.fresh_process()
+    return len(drain_process(process, estimated_solo_us(binding.app)))
+
+
+class OnlineClusterController:
+    """Epoch-driven orchestrator over a :class:`ClusterPlacer`."""
+
+    def __init__(
+        self,
+        num_gpus: int,
+        gpu_spec: Optional[GPUSpec] = None,
+        policy: PlacementPolicy = PlacementPolicy.BEST_FIT,
+        system_factory: SystemFactory = BlessRuntime,
+        system_kwargs: Optional[dict] = None,
+        migrate: bool = False,
+        degrade_factors: Sequence[float] = DEFAULT_DEGRADE_FACTORS,
+        trace: Optional[bool] = None,
+    ):
+        self.gpu_spec = gpu_spec or GPUSpec()
+        self.placer = ClusterPlacer(num_gpus, self.gpu_spec, policy)
+        self.system_factory = system_factory
+        self.system_kwargs = dict(system_kwargs or {})
+        self.migrate = migrate
+        self.degrade_factors = tuple(degrade_factors)
+        self.tracing = resolve_tracing(trace)
+        self.tracer: Optional[ClusterTracer] = (
+            ClusterTracer() if self.tracing else None
+        )
+        self.stats = ClusterStats()
+        # app_id -> the binding's original process factory; placements
+        # hold the (possibly quota-degraded) deployed Application.
+        self._factories: Dict[str, Callable[[], ArrivalProcess]] = {}
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.placer.slots)
+
+    def _emit(self, etype: str, app_id: str = "", **args) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(etype, app_id=app_id, **args)
+
+    # -- admission ladder ------------------------------------------------
+    def _try_place(self, app: Application) -> Optional[int]:
+        slot = self.placer.select(app)
+        if slot is None:
+            return None
+        self.placer.place(app)
+        return slot.index
+
+    def _admit(self, arrival: AppArrival) -> Optional[Application]:
+        """Run the load-shedding ladder for one arriving application.
+
+        Returns the deployed (possibly degraded) application, or None
+        when the app was shed.
+        """
+        app = arrival.binding.app
+        candidates = [app] + [
+            app.with_quota(app.quota * factor) for factor in self.degrade_factors
+        ]
+        for attempt in range(2):
+            for candidate in candidates:
+                gpu = self._try_place(candidate)
+                if gpu is not None:
+                    degraded = candidate.quota < app.quota - 1e-12
+                    if degraded:
+                        self.stats.apps_degraded += 1
+                    self.stats.apps_admitted += 1
+                    self._emit(
+                        CLUSTER_PLACE,
+                        app_id=app.app_id,
+                        gpu=gpu,
+                        quota=candidate.quota,
+                        degraded=degraded,
+                        policy=self.placer.policy.value,
+                    )
+                    return candidate
+            # One defragmenting migration, then retry the ladder once.
+            if attempt == 0 and self.migrate and self._migrate_once():
+                continue
+            break
+        self.stats.apps_shed += 1
+        lost = offered_requests(arrival.binding)
+        self.stats.requests_shed += lost
+        self._emit(
+            CLUSTER_SHED,
+            app_id=app.app_id,
+            quota=app.quota,
+            requests_lost=lost,
+        )
+        return None
+
+    def _migrate_once(self) -> bool:
+        move = self.placer.propose_migration()
+        if move is None:
+            return False
+        app, source, target = move
+        self.placer.apply_migration(app, source, target)
+        self.stats.migrations += 1
+        self._emit(
+            CLUSTER_MIGRATE,
+            app_id=app.app_id,
+            source=source.index,
+            target=target.index,
+            quota=app.quota,
+        )
+        return True
+
+    # -- the epoch loop --------------------------------------------------
+    def serve(
+        self,
+        schedule: Sequence[AppArrival],
+        epochs: Optional[int] = None,
+        jobs: Optional[int] = None,
+    ) -> OnlineClusterResult:
+        """Run the online schedule to completion.
+
+        ``epochs`` defaults to the horizon the schedule implies (every
+        app arrives and departs); ``jobs`` fans occupied GPUs over the
+        shared process pool each epoch, byte-identical to serial.
+        """
+        schedule = list(schedule)
+        ids = [arrival.app_id for arrival in schedule]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate app_ids in online schedule")
+        for arrival in schedule:
+            if (
+                arrival.depart_epoch is not None
+                and arrival.depart_epoch <= arrival.arrive_epoch
+            ):
+                raise ValueError(
+                    f"app {arrival.app_id!r} departs at epoch "
+                    f"{arrival.depart_epoch} <= arrival {arrival.arrive_epoch}"
+                )
+        if epochs is None:
+            epochs = max(
+                [a.arrive_epoch + 1 for a in schedule]
+                + [a.depart_epoch for a in schedule if a.depart_epoch is not None]
+                + [1]
+            )
+
+        name = f"cluster/{system_name(self.system_factory, self.system_kwargs)}"
+        per_epoch: List[ServingResult] = []
+        offsets: List[float] = []
+        placements: List[Dict[int, List[str]]] = []
+        shed_apps: List[str] = []
+        degraded_quotas: Dict[str, float] = {}
+        shed_ids = set()
+        offset = 0.0
+
+        for epoch in range(epochs):
+            self.stats.epochs += 1
+            if self.tracer is not None:
+                self.tracer.now = offset
+
+            # 1. Departures free their GPU before this epoch serves.
+            for arrival in schedule:
+                if arrival.depart_epoch != epoch:
+                    continue
+                if arrival.app_id in shed_ids or arrival.arrive_epoch >= epoch:
+                    continue
+                slot = self.placer.remove(arrival.app_id)
+                self._factories.pop(arrival.app_id, None)
+                self.stats.apps_departed += 1
+                self._emit(CLUSTER_DEPART, app_id=arrival.app_id, gpu=slot.index)
+
+            # 2. Rebalance across the drained epoch boundary.
+            if self.migrate:
+                self._migrate_once()
+
+            # 3. Admissions, in schedule order.
+            for arrival in schedule:
+                if arrival.arrive_epoch != epoch:
+                    continue
+                self.stats.apps_arrived += 1
+                deployed = self._admit(arrival)
+                if deployed is None:
+                    shed_apps.append(arrival.app_id)
+                    shed_ids.add(arrival.app_id)
+                    continue
+                self._factories[arrival.app_id] = arrival.binding.process_factory
+                if deployed.quota < arrival.binding.app.quota - 1e-12:
+                    degraded_quotas[arrival.app_id] = deployed.quota
+
+            # 4. Serve every occupied GPU for one workload pass.
+            gpu_bindings = [
+                (
+                    slot.index,
+                    [
+                        WorkloadBinding(
+                            app=app, process_factory=self._factories[app.app_id]
+                        )
+                        for app in slot.apps
+                    ],
+                )
+                for slot in self.placer.slots
+                if slot.apps
+            ]
+            placements.append(
+                {
+                    index: [binding.app.app_id for binding in bindings]
+                    for index, bindings in gpu_bindings
+                }
+            )
+            if not gpu_bindings:
+                continue
+            per_gpu = serve_gpus(
+                gpu_bindings,
+                self.system_factory,
+                self.system_kwargs,
+                jobs=jobs,
+                tracer=self.tracer,
+                offset_us=offset,
+            )
+            epoch_result = ServingResult.merge(
+                [per_gpu[index] for index, _ in gpu_bindings],
+                system=name,
+                num_slots=self.num_gpus,
+            )
+            self._emit(
+                CLUSTER_EPOCH,
+                epoch=epoch,
+                makespan_us=epoch_result.makespan_us,
+                utilization=epoch_result.utilization,
+                **{
+                    f"util_gpu{index}": per_gpu[index].utilization
+                    for index, _ in gpu_bindings
+                },
+            )
+            per_epoch.append(epoch_result)
+            offsets.append(offset)
+            offset += epoch_result.makespan_us
+
+        if per_epoch:
+            merged = ServingResult.merge(
+                per_epoch,
+                system=name,
+                num_slots=self.num_gpus,
+                weights=[float(self.num_gpus)] * len(per_epoch),
+                offsets=offsets,
+            )
+        else:
+            merged = ServingResult(system=name)
+        merged.extras.update(self.stats.as_dict())
+        return OnlineClusterResult(
+            merged=merged,
+            per_epoch=per_epoch,
+            placements=placements,
+            stats=self.stats,
+            shed_apps=shed_apps,
+            degraded_quotas=degraded_quotas,
+        )

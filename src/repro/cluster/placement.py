@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps.application import Application
 from ..core.deployment import check_admission
@@ -83,22 +83,100 @@ class ClusterPlacer:
         self.policy = policy
         self.slots = [GPUSlot(index=i, spec=spec) for i in range(num_gpus)]
 
-    def place(self, app: Application) -> GPUSlot:
-        """Choose a GPU for ``app`` and record the placement."""
+    def select(self, app: Application) -> Optional[GPUSlot]:
+        """The slot ``place`` would choose, without recording (None = none).
+
+        Both fit keys sort by the slot's quota headroom *after*
+        placement with the slot index as an explicit tie-break:
+        ``app.quota`` is slot-invariant so it never changes the argmin,
+        but float-equal headrooms (common with the Table-2 rational
+        quotas, and representation-sensitive across numpy/python float
+        paths) previously tie-broke on whatever order ``min``/``max``
+        happened to scan — the index makes the decision deterministic
+        by construction.
+        """
         feasible = [slot for slot in self.slots if slot.fits(app)]
         if not feasible:
+            return None
+        if self.policy is PlacementPolicy.FIRST_FIT:
+            return feasible[0]
+        if self.policy is PlacementPolicy.BEST_FIT:
+            return min(
+                feasible,
+                key=lambda s: (float(s.quota_free - app.quota), s.index),
+            )
+        # WORST_FIT: largest headroom, lowest index on ties.
+        return min(
+            feasible,
+            key=lambda s: (-float(s.quota_free - app.quota), s.index),
+        )
+
+    def place(self, app: Application) -> GPUSlot:
+        """Choose a GPU for ``app`` and record the placement."""
+        chosen = self.select(app)
+        if chosen is None:
             raise PlacementError(
                 f"no GPU can host {app.app_id!r} "
                 f"(quota {app.quota:.0%}, {app.memory_mb}MB)"
             )
-        if self.policy is PlacementPolicy.FIRST_FIT:
-            chosen = feasible[0]
-        elif self.policy is PlacementPolicy.BEST_FIT:
-            chosen = min(feasible, key=lambda s: s.quota_free - app.quota)
-        else:  # WORST_FIT
-            chosen = max(feasible, key=lambda s: s.quota_free - app.quota)
         chosen.apps.append(app)
         return chosen
+
+    def remove(self, app_id: str) -> GPUSlot:
+        """Undo a placement (application departure); returns its slot."""
+        for slot in self.slots:
+            for app in slot.apps:
+                if app.app_id == app_id:
+                    slot.apps.remove(app)
+                    return slot
+        raise KeyError(f"app {app_id!r} is not placed on any GPU")
+
+    def slot_of(self, app_id: str) -> Optional[GPUSlot]:
+        for slot in self.slots:
+            if any(app.app_id == app_id for app in slot.apps):
+                return slot
+        return None
+
+    def quota_spread(self) -> float:
+        """Max minus min per-slot quota load (the imbalance measure)."""
+        used = [slot.quota_used for slot in self.slots]
+        return max(used) - min(used)
+
+    def propose_migration(self) -> Optional[Tuple[Application, GPUSlot, GPUSlot]]:
+        """One load-balancing move, or None when no move helps.
+
+        Deterministic rule: take the most-loaded slot (lowest index on
+        ties), and among its apps that *fit* on the least-loaded slot,
+        pick the smallest-quota one (app_id tie-break) whose move
+        strictly reduces the cluster's quota spread.  Returns
+        ``(app, source, target)`` without applying the move.
+        """
+        if len(self.slots) < 2:
+            return None
+        source = min(self.slots, key=lambda s: (-s.quota_used, s.index))
+        target = min(self.slots, key=lambda s: (s.quota_used, s.index))
+        if source.index == target.index:
+            return None
+        spread = source.quota_used - target.quota_used
+        candidates = sorted(
+            source.apps, key=lambda a: (float(a.quota), a.app_id)
+        )
+        for app in candidates:
+            # The move must strictly shrink the spread (otherwise the
+            # orchestrator would oscillate the same app back and forth).
+            new_source = source.quota_used - app.quota
+            new_target = target.quota_used + app.quota
+            if max(new_source, new_target) - min(new_source, new_target) >= spread - 1e-9:
+                continue
+            if target.fits(app):
+                return app, source, target
+        return None
+
+    def apply_migration(
+        self, app: Application, source: GPUSlot, target: GPUSlot
+    ) -> None:
+        source.apps.remove(app)
+        target.apps.append(app)
 
     def place_all(self, apps: Sequence[Application]) -> Dict[int, List[Application]]:
         """Place a batch (largest quota first — classic bin packing).

@@ -76,6 +76,7 @@ class BlessRuntime(SharingSystem):
         validate: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         trace: Optional[bool] = None,
+        gpu_index: Optional[int] = None,
     ):
         super().__init__(
             gpu_spec=gpu_spec,
@@ -84,6 +85,7 @@ class BlessRuntime(SharingSystem):
             validate=validate,
             fault_plan=fault_plan,
             trace=trace,
+            gpu_index=gpu_index,
         )
         self.config = config
         self.profiler = OfflineProfiler(config=config, gpu_spec=self.gpu_spec)

@@ -51,3 +51,5 @@ ALL_EXPERIMENTS.append("ablations_extra")
 ALL_EXPERIMENTS.append("tail_latency")
 # Robustness: graceful degradation under injected faults.
 ALL_EXPERIMENTS.append("resilience")
+# §4.2.2 multi-GPU: online cluster orchestration at scale.
+ALL_EXPERIMENTS.append("cluster_scale")

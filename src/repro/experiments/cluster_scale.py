@@ -1,0 +1,128 @@
+"""Cluster scale-out sweep (§4.2.2 multi-GPU extension, not in the paper).
+
+The paper sketches the multi-GPU story — replicate the BLESS runtime
+per GPU behind a central placement controller — but evaluates a single
+GPU.  This sweep exercises the online orchestrator across cluster
+sizes, placement policies, and load levels: ``gpus`` tenant groups
+(each the Fig. 15 four-model mix) arrive one group per epoch, the
+controller places/degrades/sheds them, and every occupied GPU serves in
+parallel across the process pool (``jobs=`` / ``REPRO_JOBS``).
+
+Reported per scenario:
+
+* ``mean_ms`` / ``util`` — merged latency and time-weighted cluster
+  utilization (idle GPUs count in the denominator);
+* ``completed`` / ``offered`` — completed requests vs offered load
+  including requests of shed applications, so
+  ``completed + shed == offered`` holds cluster-wide;
+* ``shed_apps`` / ``migrations`` — admission-ladder outcomes.
+
+Everything is seeded and placement is deterministic, so two runs — at
+any ``jobs`` — are byte-identical (the cluster-smoke golden pins
+``run_quick``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..apps.models import inference_app
+from ..cluster import AppArrival, OnlineClusterController, PlacementPolicy
+from ..workloads.suite import QUOTAS_4MODEL, bind_load
+from .common import format_table
+
+GPUS = (1, 2, 4)
+POLICIES = ("best_fit", "worst_fit")
+LOADS = ("A", "C")
+_GROUP_MODELS = ("VGG", "R50", "R101", "BERT")
+
+
+def cluster_apps(groups: int):
+    """``groups`` copies of the Fig. 15 four-model mix, unique app_ids."""
+    apps = []
+    for group in range(groups):
+        for index, (model, quota) in enumerate(zip(_GROUP_MODELS, QUOTAS_4MODEL)):
+            base = inference_app(model)
+            apps.append(
+                base.with_quota(quota, app_id=f"{base.name}#g{group}.{index}")
+            )
+    return apps
+
+
+def run(
+    gpus: Sequence[int] = GPUS,
+    policies: Sequence[str] = POLICIES,
+    loads: Sequence[str] = LOADS,
+    requests: int = 6,
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for num_gpus in gpus:
+        for policy in policies:
+            for load in loads:
+                bindings = bind_load(
+                    cluster_apps(num_gpus), load, requests=requests
+                )
+                # One tenant group arrives per epoch: group g's four
+                # apps show up at epoch g and stay to the end.
+                schedule = [
+                    AppArrival(binding=binding, arrive_epoch=index // 4)
+                    for index, binding in enumerate(bindings)
+                ]
+                controller = OnlineClusterController(
+                    num_gpus=num_gpus,
+                    policy=PlacementPolicy(policy),
+                    migrate=True,
+                )
+                result = controller.serve(schedule, jobs=jobs)
+                extras = result.merged.extras
+                completed = float(len(result.merged.records))
+                arrived = extras.get("fault_requests_arrived", completed)
+                shed = extras.get("fault_shed_requests", 0.0)
+                turned_away = extras.get("cluster_requests_shed", 0.0)
+                out[f"gpus={num_gpus} policy={policy} load={load}"] = {
+                    "mean_ms": result.merged.mean_of_app_means() / 1000.0,
+                    "util": result.merged.utilization,
+                    "completed": completed,
+                    "offered": arrived + turned_away,
+                    "shed": shed + turned_away,
+                    "shed_apps": float(result.stats.apps_shed),
+                    "degraded_apps": float(result.stats.apps_degraded),
+                    "migrations": float(result.stats.migrations),
+                    "makespan_ms": result.merged.makespan_us / 1000.0,
+                }
+    return out
+
+
+def run_quick(jobs: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+    """CI-sized sweep (the cluster-smoke golden pins this output)."""
+    return run(
+        gpus=(1, 2), policies=("best_fit",), loads=("C",), requests=4, jobs=jobs
+    )
+
+
+def main(jobs: Optional[int] = None) -> None:
+    data = run(jobs=jobs)
+    rows = [
+        [
+            scenario,
+            f"{stats['mean_ms']:.2f}",
+            f"{stats['util']:.1%}",
+            f"{stats['completed']:.0f}/{stats['offered']:.0f}",
+            f"{stats['shed']:.0f}",
+            f"{stats['degraded_apps']:.0f}",
+            f"{stats['migrations']:.0f}",
+        ]
+        for scenario, stats in data.items()
+    ]
+    print(
+        format_table(
+            ["scenario", "mean ms", "util", "done/offered", "shed", "degraded", "migrations"],
+            rows,
+            title="cluster scale-out (one tenant group arrives per epoch)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -19,11 +19,7 @@ variable and defaults to serial; ``jobs=0`` means "all cores".
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..baselines import (
     GSLICESystem,
@@ -37,6 +33,17 @@ from ..baselines import (
 )
 from ..core import BlessRuntime
 from ..metrics.stats import ServingResult
+
+# The pool machinery itself lives in ``repro.parallel`` (so the cluster
+# controller can reuse it without importing the experiments layer);
+# these re-exports keep the historical import surface working.
+from ..parallel import (  # noqa: F401  (re-exported API)
+    CellExecutionError,
+    ServeCell,
+    _reset_pool,
+    resolve_jobs,
+    run_cells,
+)
 from ..workloads.suite import WorkloadBinding
 
 # The comparison matrix of §6.1 for inference workloads.
@@ -59,148 +66,6 @@ TRAINING_SYSTEMS: Dict[str, Callable[[], SharingSystem]] = {
     "ZICO": ZicoSystem,
     "BLESS": BlessRuntime,
 }
-
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker-count policy shared by the CLI and the runners.
-
-    ``None`` falls back to the ``REPRO_JOBS`` environment variable and
-    then to 1 (serial — today's behaviour); ``0`` or a negative count
-    means "use every core".
-    """
-    if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        jobs = int(env) if env else 1
-    if jobs <= 0:
-        jobs = os.cpu_count() or 1
-    return jobs
-
-
-@dataclass(frozen=True)
-class ServeCell:
-    """One independent (system, workload-binding) simulation.
-
-    Cells are shipped to worker processes, so every field must pickle:
-    use ``functools.partial`` over module-level functions for the
-    bindings factory, never a closure or lambda.
-    """
-
-    key: Hashable
-    system: str
-    system_factory: Callable[[], SharingSystem]
-    bindings_factory: Callable[[], Sequence[WorkloadBinding]]
-    # Extra keyword arguments for the system factory (picklable).
-    system_kwargs: dict = field(default_factory=dict)
-
-    def execute(self) -> ServingResult:
-        system = self.system_factory(**self.system_kwargs)
-        return system.serve(self.bindings_factory())
-
-
-def _execute_cell(cell: ServeCell) -> ServingResult:
-    # Module-level trampoline so ProcessPoolExecutor can pickle it.
-    return cell.execute()
-
-
-class CellExecutionError(RuntimeError):
-    """A cell failed; carries which (system, binding) it was.
-
-    A bare worker traceback loses the grid coordinates that make a
-    failure debuggable; this wrapper pins them on.
-    """
-
-    def __init__(self, cell: ServeCell, cause: BaseException):
-        self.key = cell.key
-        self.system = cell.system
-        super().__init__(
-            f"cell {cell.key!r} (system={cell.system}) failed: "
-            f"{type(cause).__name__}: {cause}"
-        )
-
-
-# One cached worker pool, reused across run_cells calls: a report run
-# executes dozens of cell grids back to back, and forking a fresh pool
-# for each would dominate small grids.  Keyed by (worker count, engine
-# mode) because forked workers freeze REPRO_ENGINE_MODE at creation.
-_pool: Optional[ProcessPoolExecutor] = None
-_pool_key: Optional[tuple] = None
-
-
-def _get_pool(workers: int) -> ProcessPoolExecutor:
-    global _pool, _pool_key
-    key = (workers, os.environ.get("REPRO_ENGINE_MODE", ""))
-    if _pool is not None and _pool_key == key:
-        return _pool
-    if _pool is not None:
-        _pool.shutdown(wait=False)
-    _pool = ProcessPoolExecutor(max_workers=workers)
-    _pool_key = key
-    return _pool
-
-
-def _reset_pool() -> None:
-    """Drop a broken cached pool so the next run_cells starts fresh."""
-    global _pool, _pool_key
-    if _pool is not None:
-        _pool.shutdown(wait=False)
-    _pool = None
-    _pool_key = None
-
-
-def _execute_serial(cell: ServeCell) -> ServingResult:
-    try:
-        return cell.execute()
-    except Exception as exc:
-        raise CellExecutionError(cell, exc) from exc
-
-
-def run_cells(
-    cells: Iterable[ServeCell], jobs: Optional[int] = None
-) -> List[ServingResult]:
-    """Execute every cell; results align with the input order.
-
-    With ``jobs > 1`` cells run across a process pool; per-cell futures
-    are collected in submission order, and each cell reconstructs its
-    own workload from scratch inside the worker, so the output is
-    byte-identical to the serial path.
-
-    A failing cell raises :class:`CellExecutionError` naming its grid
-    coordinates.  Before giving up, the failed cell is re-run serially
-    in this process: a worker-environment casualty (pool torn down,
-    import skew, resource limits) recovers transparently, while a
-    genuine simulation bug fails the same way with a local, complete
-    traceback.
-    """
-    cells = list(cells)
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(cells) <= 1:
-        return [_execute_serial(cell) for cell in cells]
-    pool = _get_pool(min(jobs, len(cells)))
-    try:
-        futures = [pool.submit(_execute_cell, cell) for cell in cells]
-    except RuntimeError:
-        # Pool already shut down (e.g. interpreter teardown races).
-        _reset_pool()
-        return [_execute_serial(cell) for cell in cells]
-    results: List[ServingResult] = []
-    broken = False
-    for cell, future in zip(cells, futures):
-        try:
-            results.append(future.result())
-        except BrokenProcessPool:
-            # The pool is gone (worker killed, fork bomb, OOM).  All
-            # remaining futures will fail the same way: re-run each
-            # affected cell serially instead of losing the whole grid.
-            broken = True
-            results.append(_execute_serial(cell))
-        except Exception:
-            # Only this cell failed in the worker — retry it here so
-            # transient worker trouble doesn't kill the run; a real
-            # bug re-raises as CellExecutionError with full context.
-            results.append(_execute_serial(cell))
-    if broken:
-        _reset_pool()
-    return results
 
 
 def serve_all(

@@ -225,6 +225,95 @@ class ServingResult:
     def count(self, app_id: Optional[str] = None) -> int:
         return len(self.latencies(app_id))
 
+    @classmethod
+    def merge(
+        cls,
+        results: Sequence["ServingResult"],
+        system: Optional[str] = None,
+        *,
+        num_slots: Optional[int] = None,
+        weights: Optional[Sequence[float]] = None,
+        offsets: Optional[Sequence[float]] = None,
+    ) -> "ServingResult":
+        """Combine independent sub-results into one cluster-level result.
+
+        Used wherever one logical serving run is realised on several
+        private engines: the §4.2.2 cluster controller (one engine per
+        GPU), the composite baselines (ISO/MIG serve each tenant on its
+        own partition-sized engine), and the online orchestrator's
+        epoch chain.
+
+        * ``records`` are concatenated in the given order (callers pass
+          results in a deterministic order — GPU index, epoch index —
+          so merged output is reproducible byte for byte);
+        * ``extras`` counters are **summed** — this is what keeps the
+          ``completed + shed == arrived`` fault-accounting invariant
+          true at cluster level (`FaultStats`/`CacheStats` counters are
+          all additive); derived ``*hit_rate`` keys are recomputed from
+          their merged ``hits``/``misses`` siblings;
+        * ``utilization`` is busy-time over capacity: each sub-result
+          contributes ``utilization * makespan_us * weight`` busy
+          GPU-microseconds (``weight`` = how many GPUs it represents,
+          default 1), and capacity is ``merged makespan × num_slots``.
+          ``num_slots`` **must count idle GPUs too** — a pool of three
+          GPUs serving one app is one-third as utilised as a busy
+          single GPU, not equally utilised (the historical
+          ``len(per_gpu)`` denominator bug);
+        * ``offsets`` (cluster-clock start of each sub-result, for
+          sequential epochs) shift record timestamps and extend the
+          merged makespan to ``max(offset + makespan)``.
+        """
+        results = list(results)
+        if not results:
+            raise ValueError("cannot merge zero results")
+        if weights is None:
+            weights = [1.0] * len(results)
+        if offsets is None:
+            offsets = [0.0] * len(results)
+        if len(weights) != len(results) or len(offsets) != len(results):
+            raise ValueError("weights/offsets must match results in length")
+        if num_slots is None:
+            num_slots = int(sum(weights)) or len(results)
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+
+        merged = cls(system=system or results[0].system)
+        busy = 0.0
+        makespan = 0.0
+        for result, weight, offset in zip(results, weights, offsets):
+            if offset == 0.0:
+                merged.records.extend(result.records)
+            else:
+                merged.records.extend(
+                    RequestRecord(
+                        app_id=r.app_id,
+                        request_id=r.request_id,
+                        arrival=r.arrival + offset,
+                        finish=r.finish + offset,
+                    )
+                    for r in result.records
+                )
+            makespan = max(makespan, offset + result.makespan_us)
+            busy += result.utilization * result.makespan_us * weight
+            for key, value in result.extras.items():
+                merged.extras[key] = merged.extras.get(key, 0.0) + value
+        for key in merged.extras:
+            if key.endswith("hit_rate"):
+                prefix = key[: -len("hit_rate")]
+                lookups = merged.extras.get(prefix + "hits", 0.0) + merged.extras.get(
+                    prefix + "misses", 0.0
+                )
+                merged.extras[key] = (
+                    merged.extras.get(prefix + "hits", 0.0) / lookups
+                    if lookups > 0
+                    else 0.0
+                )
+        merged.makespan_us = makespan
+        merged.utilization = (
+            min(1.0, busy / (makespan * num_slots)) if makespan > 0 else 0.0
+        )
+        return merged
+
 
 def qos_violation_rate(
     result: ServingResult, targets_us: Mapping[str, float]

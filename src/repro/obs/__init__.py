@@ -36,7 +36,7 @@ from .registry import (
     Histogram,
     MetricsRegistry,
 )
-from .tracer import DecisionTracer, load_records_jsonl
+from .tracer import ClusterTracer, DecisionTracer, load_records_jsonl
 
 #: Environment variable that turns tracing on for any ``serve()``.
 #: Falsy values ("", "0", "false", "off", "no") leave tracing off; any
@@ -99,6 +99,7 @@ class Observability:
 
 __all__ = [
     "Observability",
+    "ClusterTracer",
     "DecisionTracer",
     "TraceEvent",
     "DECISION_TYPES",

@@ -33,7 +33,19 @@ type                      emitted when
 ``fault.launch_failed``   a launch landed on a dead (crashed-context) queue
 ``fault.context_crash``   an injected MPS-context crash fired
 ``fault.request_shed``    the harness shed a request (failure or timeout)
+``cluster.place``         the §4.2.2 controller placed an app on a GPU
+``cluster.shed``          cluster admission control rejected an app (the
+                          load-shedding ladder ran dry)
+``cluster.migrate``       the online orchestrator moved an app between GPUs
+``cluster.depart``        an application left the cluster (online mode)
+``cluster.epoch``         an online serving epoch finished (per-GPU
+                          utilization snapshot rides in ``args``)
 ========================  ====================================================
+
+Cluster events are stamped on the **cluster clock**: epoch ``e`` starts
+at the cumulative makespan of epochs ``0..e-1``, and every per-GPU
+simulated timestamp inside epoch ``e`` maps to ``offset_e + ts`` (GPUs
+run concurrently in cluster time, so their epoch-local clocks align).
 """
 
 from __future__ import annotations
@@ -65,6 +77,13 @@ FAULT_LAUNCH_FAILED = "fault.launch_failed"
 FAULT_CONTEXT_CRASH = "fault.context_crash"
 FAULT_REQUEST_SHED = "fault.request_shed"
 
+# Multi-GPU orchestration (§4.2.2 central controller).
+CLUSTER_PLACE = "cluster.place"
+CLUSTER_SHED = "cluster.shed"
+CLUSTER_MIGRATE = "cluster.migrate"
+CLUSTER_DEPART = "cluster.depart"
+CLUSTER_EPOCH = "cluster.epoch"
+
 #: Every decision/fault event type (``kernel`` records live alongside).
 DECISION_TYPES = (
     REQUEST_ARRIVED,
@@ -82,6 +101,11 @@ DECISION_TYPES = (
     FAULT_LAUNCH_FAILED,
     FAULT_CONTEXT_CRASH,
     FAULT_REQUEST_SHED,
+    CLUSTER_PLACE,
+    CLUSTER_SHED,
+    CLUSTER_MIGRATE,
+    CLUSTER_DEPART,
+    CLUSTER_EPOCH,
 )
 
 
@@ -108,6 +132,10 @@ class TraceEvent:
     @property
     def is_fault(self) -> bool:
         return self.etype.startswith("fault.")
+
+    @property
+    def is_cluster(self) -> bool:
+        return self.etype.startswith("cluster.")
 
     def to_json_dict(self) -> Dict[str, Any]:
         """Flat dict for JSON-lines export (stable key order)."""

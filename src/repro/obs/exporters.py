@@ -12,6 +12,18 @@ The Perfetto export lays a run out on three process tracks:
   kernel slices grouped by tenant (so per-app gaps/bubbles are visible
   at a glance).
 
+Cluster traces (the §4.2.2 orchestrator) add, lazily, so single-GPU
+exports are unchanged:
+
+* **pid 4 — cluster**: the controller's ``cluster.place`` /
+  ``cluster.shed`` / ``cluster.migrate`` / ``cluster.depart`` instants
+  plus per-GPU utilization counter tracks from ``cluster.epoch``;
+* **pid 10+i — GPU i**: one process per GPU with one thread per MPS
+  context, carrying the kernel slices that GPU executed (absorbed
+  per-GPU streams tag records with ``args["gpu"]``, which routes them
+  here instead of the flat contexts track — context ids are only
+  unique within a GPU).
+
 Everything shares the simulated-microsecond clock, which is natively
 what ``trace_event`` ``ts``/``dur`` expect — load the file at
 https://ui.perfetto.dev or ``chrome://tracing`` unchanged.
@@ -30,15 +42,24 @@ from typing import Any, Dict, List, Sequence, Union
 from . import events as ev
 from .events import TraceEvent
 
-# Process ids of the three tracks.
+# Process ids of the fixed tracks.
 PID_SCHEDULER = 1
 PID_CONTEXTS = 2
 PID_APPS = 3
+# The §4.2.2 cluster controller's own decisions (place/shed/migrate).
+PID_CLUSTER = 4
+# Per-GPU processes of a cluster trace start here: GPU *i* exports as
+# pid ``PID_GPU_BASE + i`` with one thread per MPS context, giving each
+# GPU its own track group in the Perfetto UI.
+PID_GPU_BASE = 10
 
 # Fixed scheduler-process threads.
 TID_DECISIONS = 1
 TID_SQUADS = 2
 TID_FAULTS = 3
+
+# Fixed cluster-process threads (per-GPU placement threads follow).
+TID_CONTROLLER = 1
 
 #: Decision types drawn as instants on the scheduler/decisions thread.
 _DECISION_INSTANTS = (
@@ -110,6 +131,11 @@ def to_perfetto(records: Sequence[TraceEvent]) -> Dict[str, Any]:
 
     context_tids: Dict[int, int] = {}
     app_tids: Dict[str, int] = {}
+    # Cluster tracks are created lazily so single-GPU exports stay
+    # byte-identical to what they were before the cluster layer existed.
+    cluster_meta_done = False
+    gpu_context_tids: Dict[tuple, int] = {}
+    gpu_pids: Dict[int, int] = {}
 
     def context_tid(context_id: int) -> int:
         tid = context_tids.get(context_id)
@@ -128,6 +154,30 @@ def to_perfetto(records: Sequence[TraceEvent]) -> Dict[str, Any]:
             out.append(_meta(PID_APPS, tid, "thread_name", app_id or "?"))
         return tid
 
+    def cluster_meta() -> None:
+        nonlocal cluster_meta_done
+        if not cluster_meta_done:
+            cluster_meta_done = True
+            out.append(_meta(PID_CLUSTER, 0, "process_name", "cluster"))
+            out.append(_meta(PID_CLUSTER, TID_CONTROLLER, "thread_name", "controller"))
+
+    def gpu_pid(gpu: int) -> int:
+        pid = gpu_pids.get(gpu)
+        if pid is None:
+            pid = PID_GPU_BASE + gpu
+            gpu_pids[gpu] = pid
+            out.append(_meta(pid, 0, "process_name", f"GPU {gpu}"))
+        return pid
+
+    def gpu_context_tid(gpu: int, context_id: int) -> int:
+        tid = gpu_context_tids.get((gpu, context_id))
+        if tid is None:
+            tid = sum(1 for key in gpu_context_tids if key[0] == gpu) + 1
+            gpu_context_tids[(gpu, context_id)] = tid
+            label = f"context {context_id}" if context_id >= 0 else "context ?"
+            out.append(_meta(gpu_pid(gpu), tid, "thread_name", label))
+        return tid
+
     for record in ordered:
         if record.etype == ev.KERNEL:
             args = record.args
@@ -140,18 +190,35 @@ def to_perfetto(records: Sequence[TraceEvent]) -> Dict[str, Any]:
                 "context_limit": args.get("context_limit"),
             }
             name = str(args.get("name", "kernel"))
-            out.append(
-                {
-                    "name": name,
-                    "cat": str(args.get("kind", "kernel")),
-                    "ph": "X",
-                    "ts": start,
-                    "dur": dur,
-                    "pid": PID_CONTEXTS,
-                    "tid": context_tid(int(args.get("context_id", -1))),
-                    "args": slice_args,
-                }
-            )
+            gpu = args.get("gpu")
+            if gpu is not None:
+                # Cluster trace: the GPU's own track replaces the flat
+                # contexts track (contexts ids are only unique per GPU).
+                out.append(
+                    {
+                        "name": name,
+                        "cat": str(args.get("kind", "kernel")),
+                        "ph": "X",
+                        "ts": start,
+                        "dur": dur,
+                        "pid": gpu_pid(int(gpu)),
+                        "tid": gpu_context_tid(int(gpu), int(args.get("context_id", -1))),
+                        "args": slice_args,
+                    }
+                )
+            else:
+                out.append(
+                    {
+                        "name": name,
+                        "cat": str(args.get("kind", "kernel")),
+                        "ph": "X",
+                        "ts": start,
+                        "dur": dur,
+                        "pid": PID_CONTEXTS,
+                        "tid": context_tid(int(args.get("context_id", -1))),
+                        "args": slice_args,
+                    }
+                )
             out.append(
                 {
                     "name": name,
@@ -192,6 +259,34 @@ def to_perfetto(records: Sequence[TraceEvent]) -> Dict[str, Any]:
                     "args": _instant_args(record),
                 }
             )
+        elif record.is_cluster:
+            cluster_meta()
+            out.append(
+                {
+                    "name": record.etype,
+                    "cat": "cluster",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": record.ts_us,
+                    "pid": PID_CLUSTER,
+                    "tid": TID_CONTROLLER,
+                    "args": _instant_args(record),
+                }
+            )
+            if record.etype == ev.CLUSTER_EPOCH:
+                # Per-GPU utilization rides as Perfetto counter tracks.
+                for key, value in sorted(record.args.items()):
+                    if not str(key).startswith("util_gpu"):
+                        continue
+                    out.append(
+                        {
+                            "name": f"{key} (%)",
+                            "ph": "C",
+                            "ts": record.ts_us,
+                            "pid": PID_CLUSTER,
+                            "args": {"utilization": round(100.0 * value, 3)},
+                        }
+                    )
         elif record.etype in _DECISION_INSTANTS:
             out.append(
                 {

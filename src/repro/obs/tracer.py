@@ -41,35 +41,46 @@ class DecisionTracer(KernelTracer):
     def __init__(self, engine: SimEngine):
         super().__init__(engine)
         self.records: List[TraceEvent] = []
+        # Static args stamped onto every record (empty by default, so
+        # ordinary single-GPU traces are byte-identical to before).
+        # The cluster controller sets {"gpu": index} here so per-GPU
+        # streams stay attributable after they are absorbed into one
+        # cluster trace.
+        self.base_args: Dict[str, Any] = {}
         engine.trace = self
 
     # -- kernel records ------------------------------------------------
     def _on_finish(self, kernel: KernelInstance) -> None:
         super()._on_finish(kernel)
         event = self.events[-1]
+        args = {
+            "name": event.name,
+            "request_id": event.request_id,
+            "seq": event.seq,
+            "kind": event.kind,
+            "enqueue_us": event.enqueue_us,
+            "start_us": event.start_us,
+            "finish_us": event.finish_us,
+            "sm_fraction": event.sm_fraction,
+            "context_id": event.context_id,
+            "context_limit": event.context_limit,
+        }
+        if self.base_args:
+            args = {**self.base_args, **args}
         self.records.append(
             TraceEvent(
                 ts_us=event.finish_us,
                 etype=KERNEL,
                 app_id=event.app_id,
-                args={
-                    "name": event.name,
-                    "request_id": event.request_id,
-                    "seq": event.seq,
-                    "kind": event.kind,
-                    "enqueue_us": event.enqueue_us,
-                    "start_us": event.start_us,
-                    "finish_us": event.finish_us,
-                    "sm_fraction": event.sm_fraction,
-                    "context_id": event.context_id,
-                    "context_limit": event.context_limit,
-                },
+                args=args,
             )
         )
 
     # -- decision records ----------------------------------------------
     def emit(self, etype: str, app_id: str = "", **args: Any) -> None:
         """Record a decision/fault event stamped with the engine clock."""
+        if self.base_args:
+            args = {**self.base_args, **args}
         self.records.append(
             TraceEvent(ts_us=self.engine.now, etype=etype, app_id=app_id, args=args)
         )
@@ -90,6 +101,76 @@ class DecisionTracer(KernelTracer):
         (see :func:`repro.obs.exporters.normalize_request_ids`), so
         same-seed runs write byte-identical files.
         """
+        from .exporters import save_jsonl
+
+        return save_jsonl(self.records, path)
+
+
+class ClusterTracer:
+    """A tracer for the multi-GPU orchestrator — no engine attached.
+
+    The cluster controller has no simulated engine of its own: each GPU
+    runs a private :class:`~repro.gpusim.engine.SimEngine`, and cluster
+    time is stitched from epoch makespans (epoch ``e`` starts at the
+    cumulative makespan of epochs ``0..e-1``).  This tracer carries
+    that cluster clock (``now``), records the controller's own
+    decisions (``cluster.place`` / ``cluster.shed`` /
+    ``cluster.migrate`` / ...), and *absorbs* per-GPU
+    :class:`DecisionTracer` streams by shifting them onto the cluster
+    clock and tagging each record with its GPU index — producing one
+    unified stream the standard exporters (Perfetto, JSON lines) and
+    analyzers consume unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[TraceEvent] = []
+        self.now: float = 0.0
+
+    def emit(self, etype: str, app_id: str = "", **args: Any) -> None:
+        """Record a cluster decision stamped with the cluster clock."""
+        self.records.append(
+            TraceEvent(ts_us=self.now, etype=etype, app_id=app_id, args=args)
+        )
+
+    def absorb(
+        self,
+        records: List[TraceEvent],
+        offset_us: float = 0.0,
+        gpu: Union[int, None] = None,
+    ) -> int:
+        """Lift a per-GPU stream onto the cluster clock.
+
+        ``offset_us`` is the cluster time at which the GPU's serve
+        started (its local t=0); ``gpu`` tags every absorbed record so
+        the Perfetto export can lay each GPU out on its own track.
+        Kernel records' embedded ``enqueue/start/finish`` triples are
+        shifted along with ``ts_us`` so slice geometry stays correct.
+        """
+        for record in records:
+            args = dict(record.args)
+            if gpu is not None:
+                args["gpu"] = gpu
+            if offset_us:
+                for key in ("enqueue_us", "start_us", "finish_us"):
+                    if key in args:
+                        args[key] = args[key] + offset_us
+            self.records.append(
+                TraceEvent(
+                    ts_us=record.ts_us + offset_us,
+                    etype=record.etype,
+                    app_id=record.app_id,
+                    args=args,
+                )
+            )
+        return len(records)
+
+    def decisions(self) -> List[TraceEvent]:
+        return [r for r in self.records if not r.is_kernel]
+
+    def of_type(self, etype: str) -> List[TraceEvent]:
+        return [r for r in self.records if r.etype == etype]
+
+    def save_records_jsonl(self, path: Union[str, Path]) -> int:
         from .exporters import save_jsonl
 
         return save_jsonl(self.records, path)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, List, Sequence, Tuple
 
 from ..apps.application import Application
@@ -82,6 +83,10 @@ def bind_closed_loop(
     deterministic simulator would otherwise keep identical co-located
     apps permanently synchronised (always co-active, never leaving the
     bubbles the load levels are designed to produce).
+
+    Process factories are ``functools.partial`` objects (not lambdas)
+    so the bindings themselves pickle — the cluster controller ships
+    already-built bindings to pool workers when fanning GPUs out.
     """
     bindings = []
     for index, app in enumerate(apps):
@@ -90,12 +95,13 @@ def bind_closed_loop(
         bindings.append(
             WorkloadBinding(
                 app=app,
-                process_factory=lambda interval=interval, start=start, k=index: ClosedLoop(
+                process_factory=partial(
+                    ClosedLoop,
                     interval_us=interval,
                     max_requests=requests,
                     start_us=start,
                     jitter=jitter,
-                    seed=seed + k,
+                    seed=seed + index,
                 ),
             )
         )
@@ -114,7 +120,7 @@ def bind_continuous(apps: Sequence[Application], requests: int = 20) -> List[Wor
     return [
         WorkloadBinding(
             app=app,
-            process_factory=lambda requests=requests: Continuous(max_requests=requests),
+            process_factory=partial(Continuous, max_requests=requests),
         )
         for app in apps
     ]
@@ -141,7 +147,7 @@ def bind_trace(
         bindings.append(
             WorkloadBinding(
                 app=app,
-                process_factory=lambda times=tuple(times): TraceReplay(times_us=list(times)),
+                process_factory=partial(TraceReplay, times_us=tuple(times)),
             )
         )
     return bindings
@@ -159,13 +165,13 @@ def bind_biased(
     return [
         WorkloadBinding(
             app=app1,
-            process_factory=lambda: ClosedLoop(
-                interval_us=low_interval, max_requests=requests
+            process_factory=partial(
+                ClosedLoop, interval_us=low_interval, max_requests=requests
             ),
         ),
         WorkloadBinding(
             app=app2,
-            process_factory=lambda: Continuous(max_requests=requests * 3),
+            process_factory=partial(Continuous, max_requests=requests * 3),
         ),
     ]
 

@@ -10,9 +10,16 @@ Replays a repeated-squad serving mix (K=4 requests, N=18 partitions —
 Asserts the ISSUE-1 acceptance criteria: >= 3x speedup over the legacy
 scalar path on the repeated workload, and identical decisions from all
 builds (cache enabled vs disabled vs pre-PR path).
+
+Measurement: shared CI boxes show 30%+ wall-clock swings between
+back-to-back runs, so each speedup is measured over interleaved
+legacy/optimized pairs — both legs of a pair see the same machine
+weather — and the reported (and perf-gated) ratio is the median of the
+per-pair ratios, never a single run.
 """
 
 import random
+import statistics
 import time
 
 from repro.apps.application import Request
@@ -26,6 +33,10 @@ K_REQUESTS = 4
 N_PARTITIONS = 18
 DISTINCT_SQUADS = 12
 WORKLOAD_LENGTH = 240
+# The optimized legs finish in milliseconds, so per-pair ratios are
+# intrinsically noisy; five pairs keep the median steady enough for
+# the perf gate's -25% speedup threshold.
+TRIALS = 5
 
 
 def build_workload():
@@ -65,33 +76,39 @@ def drain(determiner, profiles, squads):
 def test_config_search_speedup(benchmark):
     config, profiles, squads = build_workload()
 
-    legacy = ExecutionConfigDeterminer(config, mode="legacy")
-    legacy.cache = None
-    start = time.perf_counter()
-    legacy_decisions = drain(legacy, profiles, squads)
-    legacy_seconds = time.perf_counter() - start
+    # Interleaved legacy/memoized pairs; a fresh determiner each trial
+    # so the measured replay always includes the cold misses.
+    legacy_times, memo_times, ratios = [], [], []
+    legacy_decisions = memo_decisions = None
+    fresh = None
+    for _ in range(TRIALS):
+        legacy = ExecutionConfigDeterminer(config, mode="legacy")
+        legacy.cache = None
+        start = time.perf_counter()
+        legacy_decisions = drain(legacy, profiles, squads)
+        legacy_times.append(time.perf_counter() - start)
 
+        fresh = ExecutionConfigDeterminer(config)
+        start = time.perf_counter()
+        memo_decisions = drain(fresh, profiles, squads)
+        memo_times.append(time.perf_counter() - start)
+        ratios.append(legacy_times[-1] / memo_times[-1])
+
+    # Steady state (cache warm) for the pytest-benchmark wall numbers.
     memoized = ExecutionConfigDeterminer(config)
-    # Warm once outside timing so the benchmark shows the steady state,
-    # then measure the full replay (cold misses included) for the
-    # speedup claim.
-    fresh = ExecutionConfigDeterminer(config)
-    start = time.perf_counter()
-    memo_decisions = drain(fresh, profiles, squads)
-    memo_seconds = time.perf_counter() - start
-
     drain(memoized, profiles, squads)
     benchmark.pedantic(
         drain, args=(memoized, profiles, squads), rounds=3, iterations=1
     )
 
-    speedup = legacy_seconds / memo_seconds
-    benchmark.extra_info["legacy_ms"] = round(legacy_seconds * 1e3, 2)
-    benchmark.extra_info["memoized_ms"] = round(memo_seconds * 1e3, 2)
+    speedup = statistics.median(ratios)
+    benchmark.extra_info["legacy_ms"] = round(min(legacy_times) * 1e3, 2)
+    benchmark.extra_info["memoized_ms"] = round(min(memo_times) * 1e3, 2)
+    benchmark.extra_info["pair_speedups"] = [round(r, 1) for r in ratios]
     benchmark.extra_info["speedup"] = round(speedup, 1)
     benchmark.extra_info["hit_rate"] = round(fresh.cache.stats.hit_rate, 3)
     benchmark.extra_info["per_decision_us"] = round(
-        memo_seconds / len(squads) * 1e6, 2
+        min(memo_times) / len(squads) * 1e6, 2
     )
 
     # ISSUE 1 acceptance: >= 3x on the repeated-squad workload.  (In
@@ -116,12 +133,6 @@ def test_config_search_vectorized_only_speedup(benchmark):
     """Vectorization alone (cache off) must already beat the old path."""
     config, profiles, squads = build_workload()
 
-    legacy = ExecutionConfigDeterminer(config, mode="legacy")
-    legacy.cache = None
-    start = time.perf_counter()
-    drain(legacy, profiles, squads)
-    legacy_seconds = time.perf_counter() - start
-
     nocache_config = BlessConfig(
         num_partitions=N_PARTITIONS, use_config_cache=False
     )
@@ -131,13 +142,26 @@ def test_config_search_vectorized_only_speedup(benchmark):
         return drain(vectorized, profiles, squads)
 
     run()  # warm numpy / composition-array cache
-    start = time.perf_counter()
-    run()
-    vector_seconds = time.perf_counter() - start
+
+    # Interleaved legacy/vectorized pairs, median per-pair ratio.
+    legacy_times, vector_times, ratios = [], [], []
+    for _ in range(TRIALS):
+        legacy = ExecutionConfigDeterminer(config, mode="legacy")
+        legacy.cache = None
+        start = time.perf_counter()
+        drain(legacy, profiles, squads)
+        legacy_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        run()
+        vector_times.append(time.perf_counter() - start)
+        ratios.append(legacy_times[-1] / vector_times[-1])
+
     benchmark.pedantic(run, rounds=3, iterations=1)
 
-    speedup = legacy_seconds / vector_seconds
-    benchmark.extra_info["legacy_ms"] = round(legacy_seconds * 1e3, 2)
-    benchmark.extra_info["vectorized_ms"] = round(vector_seconds * 1e3, 2)
+    speedup = statistics.median(ratios)
+    benchmark.extra_info["legacy_ms"] = round(min(legacy_times) * 1e3, 2)
+    benchmark.extra_info["vectorized_ms"] = round(min(vector_times) * 1e3, 2)
+    benchmark.extra_info["pair_speedups"] = [round(r, 1) for r in ratios]
     benchmark.extra_info["speedup"] = round(speedup, 1)
     assert speedup >= 3.0, f"only {speedup:.1f}x over the scalar path"

@@ -34,6 +34,11 @@ from .baselines import (
     iso_targets_us,
     solo_latency_us,
 )
+from .catalog import (
+    ResultsCatalog,
+    config_hash,
+    current_git_rev,
+)
 from .core import (
     BlessConfig,
     BlessRuntime,
@@ -82,6 +87,8 @@ __all__ = [
     "BlessConfig",
     "BlessRuntime",
     "check_admission",
+    "config_hash",
+    "current_git_rev",
     "DecisionTracer",
     "FaultPlan",
     "GPUDevice",
@@ -104,6 +111,7 @@ __all__ = [
     "REEFPlusSystem",
     "Request",
     "resolve_fault_plan",
+    "ResultsCatalog",
     "ServingResult",
     "SharingSystem",
     "SimEngine",

@@ -1,0 +1,87 @@
+"""Queryable sqlite results catalog (ROADMAP item 5).
+
+Every experiment cell, cluster epoch, CLI serve, and benchmark
+trajectory snapshot is recorded — automatically, opt-out via
+``REPRO_CATALOG=off`` — into one sqlite file keyed on config hashes, so
+cross-PR comparisons and CI regression gates are a query
+(``python -m repro results ...``) instead of a re-run.
+
+Layout:
+
+* :mod:`~repro.catalog.schema` — pinned DDL + canonical config hashing;
+* :mod:`~repro.catalog.store`  — :class:`ResultsCatalog` (WAL sqlite,
+  query/compare/gc API);
+* :mod:`~repro.catalog.ingest` — the automatic write path used by the
+  parallel harness, the cluster layer, and ``tools/bench_trajectory.py``;
+* :mod:`~repro.catalog.gate`   — signed-threshold regression-gate
+  semantics shared by ``repro results compare`` and
+  ``tools/perf_gate.py``.
+
+See docs/results-catalog.md for the schema and the query cookbook.
+"""
+
+from .gate import (
+    DEFAULT_THRESHOLDS,
+    GateViolation,
+    ThresholdError,
+    evaluate,
+    format_comparison_table,
+    parse_thresholds,
+)
+from .ingest import (
+    DEFAULT_CATALOG_PATH,
+    bench_entry_metrics,
+    catalog_enabled,
+    get_catalog,
+    ingest_bench_entry,
+    ingest_bench_file,
+    ingest_metrics_safe,
+    ingest_result,
+    reset_catalog_cache,
+    resolve_catalog_path,
+    result_metrics,
+)
+from .schema import (
+    SCHEMA_VERSION,
+    canonical_json,
+    config_hash,
+    describe_callable,
+    stable_repr,
+)
+from .store import (
+    CatalogSchemaError,
+    MetricComparison,
+    ResultsCatalog,
+    RunRow,
+    current_git_rev,
+)
+
+__all__ = [
+    "CatalogSchemaError",
+    "DEFAULT_CATALOG_PATH",
+    "DEFAULT_THRESHOLDS",
+    "GateViolation",
+    "MetricComparison",
+    "ResultsCatalog",
+    "RunRow",
+    "SCHEMA_VERSION",
+    "ThresholdError",
+    "bench_entry_metrics",
+    "canonical_json",
+    "catalog_enabled",
+    "config_hash",
+    "current_git_rev",
+    "describe_callable",
+    "evaluate",
+    "format_comparison_table",
+    "get_catalog",
+    "ingest_bench_entry",
+    "ingest_bench_file",
+    "ingest_metrics_safe",
+    "ingest_result",
+    "parse_thresholds",
+    "reset_catalog_cache",
+    "resolve_catalog_path",
+    "result_metrics",
+    "stable_repr",
+]

@@ -1,0 +1,146 @@
+"""Pinned sqlite schema + canonical config hashing for the results catalog.
+
+The catalog stores every serving/benchmark run in three tables keyed on
+a **config hash** — the sha-256 of the run's canonicalized configuration
+— so "the same experiment cell at two git revisions" is one SQL join,
+not a re-run:
+
+* ``runs``      — one row per run: experiment name, system, git rev,
+  seed, worker count, fault plan, wall time, the full config JSON and
+  its hash;
+* ``metrics``   — per-run ``(name, value)`` float measurements (the
+  ``ServingResult`` headline numbers plus every ``extras`` counter);
+* ``artifacts`` — per-run pointers to on-disk byproducts (Perfetto
+  traces, golden files, ``BENCH_*.json`` snapshots);
+* ``meta``      — catalog-level key/value pairs, including
+  ``schema_version``.
+
+The schema is **pinned**: ``tests/test_catalog.py`` asserts the exact
+table/column layout, and :class:`~repro.catalog.store.ResultsCatalog`
+refuses to open a catalog whose ``schema_version`` differs — bump
+:data:`SCHEMA_VERSION` (and the pin test) on any DDL change so stale
+baselines fail loudly instead of silently misjoining.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from functools import partial
+from typing import Any, Dict, Mapping
+
+SCHEMA_VERSION = 1
+
+# One statement per table; executed verbatim by ResultsCatalog and
+# introspected by the schema pin test.
+SCHEMA_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    config_hash TEXT NOT NULL,
+    experiment  TEXT NOT NULL,
+    system      TEXT NOT NULL,
+    git_rev     TEXT NOT NULL,
+    seed        INTEGER,
+    jobs        INTEGER,
+    fault_plan  TEXT,
+    config_json TEXT NOT NULL,
+    wall_time_s REAL,
+    created_at  TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_runs_config_hash ON runs (config_hash);
+CREATE INDEX IF NOT EXISTS idx_runs_experiment  ON runs (experiment, system);
+CREATE INDEX IF NOT EXISTS idx_runs_git_rev     ON runs (git_rev);
+
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id INTEGER NOT NULL,
+    name   TEXT NOT NULL,
+    value  REAL NOT NULL,
+    PRIMARY KEY (run_id, name)
+);
+
+CREATE TABLE IF NOT EXISTS artifacts (
+    run_id INTEGER NOT NULL,
+    kind   TEXT NOT NULL,
+    path   TEXT NOT NULL,
+    PRIMARY KEY (run_id, kind, path)
+);
+"""
+
+# The pinned layout: table -> ordered column names.  The store asserts
+# this against PRAGMA table_info at open, and the pin test asserts it
+# against this module, so schema drift cannot land silently.
+EXPECTED_TABLES: Dict[str, tuple] = {
+    "meta": ("key", "value"),
+    "runs": (
+        "run_id",
+        "config_hash",
+        "experiment",
+        "system",
+        "git_rev",
+        "seed",
+        "jobs",
+        "fault_plan",
+        "config_json",
+        "wall_time_s",
+        "created_at",
+    ),
+    "metrics": ("run_id", "name", "value"),
+    "artifacts": ("run_id", "kind", "path"),
+}
+
+_ADDRESS = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def stable_repr(value: Any) -> str:
+    """``repr`` with memory addresses scrubbed.
+
+    Plain ``repr`` of functions, bound objects, and partials embeds
+    ``at 0x7f...`` addresses that change every process, which would make
+    config hashes useless for cross-run joins.  Dataclass reprs (apps,
+    bindings, fault plans) pass through untouched.
+    """
+    return _ADDRESS.sub("0x0", repr(value))
+
+
+def describe_callable(fn: Any) -> Any:
+    """A JSON-friendly, process-stable description of a callable.
+
+    ``functools.partial`` chains (the harness's bindings factories) are
+    unwrapped recursively so the bound arguments — models, loads,
+    request counts, seeds — land in the config and therefore the hash.
+    """
+    if isinstance(fn, partial):
+        return {
+            "func": describe_callable(fn.func),
+            "args": [stable_repr(a) for a in fn.args],
+            "kwargs": {k: stable_repr(v) for k, v in sorted(fn.keywords.items())},
+        }
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if module and qualname:
+        return f"{module}.{qualname}"
+    return stable_repr(fn)
+
+
+def canonical_json(config: Mapping[str, Any]) -> str:
+    """Canonical JSON text of a config mapping.
+
+    Keys are sorted recursively and separators are fixed, so two dicts
+    that differ only in insertion order serialize — and therefore hash —
+    identically.  Non-JSON values fall back to :func:`stable_repr`.
+    """
+    return json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=stable_repr
+    )
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """sha-256 hex digest of the canonicalized config."""
+    return hashlib.sha256(canonical_json(config).encode("utf-8")).hexdigest()

@@ -1,0 +1,448 @@
+"""The sqlite-backed results catalog: durable runs, one-query comparisons.
+
+``ResultsCatalog`` wraps one sqlite file (WAL mode, busy-timeout) with
+the write/read API every layer shares:
+
+* :meth:`record_run` — insert one run + its metrics + artifact pointers
+  in a single transaction (concurrent writers from ``REPRO_JOBS`` pool
+  parents are safe: WAL serializes them without lost rows);
+* :meth:`runs` / :meth:`metrics` / :meth:`artifacts` — filtered reads;
+* :meth:`compare` — per-``(experiment, system, metric)`` medians of two
+  git revisions with the ratio/relative-delta a regression gate needs
+  (medians, not single runs: CI boxes swing 30%+ between back-to-back
+  runs, so every gate consumes the median over whatever runs landed);
+* :meth:`gc` — bound the catalog by keeping the newest N runs per
+  ``(experiment, system, config_hash)`` and/or dropping runs older than
+  a cutoff.
+
+Schema (see :mod:`repro.catalog.schema`) is pinned; opening a catalog
+written by a different ``schema_version`` raises
+:class:`CatalogSchemaError` instead of misjoining old rows.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import sqlite3
+import statistics
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .schema import (
+    EXPECTED_TABLES,
+    SCHEMA_DDL,
+    SCHEMA_VERSION,
+    canonical_json,
+    config_hash,
+)
+
+_REV_CACHE: Dict[str, str] = {}
+
+
+class CatalogSchemaError(RuntimeError):
+    """The on-disk catalog was written by an incompatible schema."""
+
+
+def current_git_rev(repo_dir: Optional[Union[str, Path]] = None) -> str:
+    """The git revision runs are recorded under.
+
+    ``REPRO_GIT_REV`` overrides (CI sets it to the commit under test so
+    ingest inside worker checkouts stays consistent); otherwise
+    ``git rev-parse HEAD`` of ``repo_dir``/cwd, cached per directory;
+    ``"unknown"`` outside a git checkout.
+    """
+    env = os.environ.get("REPRO_GIT_REV", "").strip()
+    if env:
+        return env
+    key = str(repo_dir or os.getcwd())
+    cached = _REV_CACHE.get(key)
+    if cached is not None:
+        return cached
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=key,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        rev = "unknown"
+    _REV_CACHE[key] = rev or "unknown"
+    return _REV_CACHE[key]
+
+
+@dataclass
+class RunRow:
+    """One ``runs`` row, config JSON already parsed."""
+
+    run_id: int
+    config_hash: str
+    experiment: str
+    system: str
+    git_rev: str
+    seed: Optional[int]
+    jobs: Optional[int]
+    fault_plan: Optional[str]
+    config: Dict[str, Any] = field(default_factory=dict)
+    wall_time_s: Optional[float] = None
+    created_at: str = ""
+
+
+@dataclass
+class MetricComparison:
+    """One gated metric across two revisions (medians over runs)."""
+
+    experiment: str
+    system: str
+    metric: str
+    baseline: float
+    current: float
+    runs_baseline: int
+    runs_current: int
+
+    @property
+    def rel_delta(self) -> float:
+        """(current - baseline) / baseline; 0.0 when both are zero."""
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+
+class ResultsCatalog:
+    """One sqlite results catalog (WAL mode, pinned schema)."""
+
+    def __init__(self, path: Union[str, Path], timeout_s: float = 30.0):
+        self.path = Path(path)
+        if str(self.path) != ":memory:":
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), timeout=timeout_s)
+        self._conn.row_factory = sqlite3.Row
+        # WAL lets REPRO_JOBS-parallel pool parents append concurrently
+        # without lost rows; NORMAL sync is durable enough for results.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(timeout_s * 1000)}")
+        self._init_schema()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _init_schema(self) -> None:
+        with self._conn:
+            self._conn.executescript(SCHEMA_DDL)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            elif row["value"] != str(SCHEMA_VERSION):
+                raise CatalogSchemaError(
+                    f"catalog {self.path} has schema_version {row['value']!r}, "
+                    f"this build expects {SCHEMA_VERSION!r} "
+                    "(regenerate it or run with REPRO_CATALOG pointing elsewhere)"
+                )
+
+    def table_columns(self) -> Dict[str, Tuple[str, ...]]:
+        """``table -> ordered column names`` (the schema pin surface)."""
+        out: Dict[str, Tuple[str, ...]] = {}
+        for table in EXPECTED_TABLES:
+            info = self._conn.execute(f"PRAGMA table_info({table})").fetchall()
+            out[table] = tuple(row["name"] for row in info)
+        return out
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsCatalog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- writes -------------------------------------------------------
+
+    def record_run(
+        self,
+        experiment: str,
+        system: str,
+        config: Mapping[str, Any],
+        metrics: Optional[Mapping[str, float]] = None,
+        *,
+        git_rev: Optional[str] = None,
+        seed: Optional[int] = None,
+        jobs: Optional[int] = None,
+        fault_plan: Optional[str] = None,
+        wall_time_s: Optional[float] = None,
+        artifacts: Iterable[Tuple[str, str]] = (),
+        created_at: Optional[str] = None,
+    ) -> int:
+        """Insert one run (+ metrics + artifacts) atomically; returns run_id."""
+        if created_at is None:
+            created_at = datetime.datetime.now(datetime.timezone.utc).isoformat()
+        if git_rev is None:
+            git_rev = current_git_rev()
+        config_text = canonical_json(config)
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (config_hash, experiment, system, git_rev, "
+                "seed, jobs, fault_plan, config_json, wall_time_s, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    config_hash(config),
+                    experiment,
+                    system,
+                    git_rev,
+                    seed,
+                    jobs,
+                    fault_plan,
+                    config_text,
+                    wall_time_s,
+                    created_at,
+                ),
+            )
+            run_id = int(cursor.lastrowid)
+            if metrics:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO metrics (run_id, name, value) "
+                    "VALUES (?, ?, ?)",
+                    [(run_id, name, float(value)) for name, value in metrics.items()],
+                )
+            rows = [(run_id, kind, str(path)) for kind, path in artifacts]
+            if rows:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO artifacts (run_id, kind, path) "
+                    "VALUES (?, ?, ?)",
+                    rows,
+                )
+        return run_id
+
+    # -- reads --------------------------------------------------------
+
+    def runs(
+        self,
+        experiment: Optional[str] = None,
+        system: Optional[str] = None,
+        git_rev: Optional[str] = None,
+        config_hash_prefix: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRow]:
+        """Filtered run rows, newest first."""
+        clauses, params = [], []
+        if experiment is not None:
+            clauses.append("experiment = ?")
+            params.append(experiment)
+        if system is not None:
+            clauses.append("system = ?")
+            params.append(system)
+        if git_rev is not None:
+            clauses.append("git_rev = ?")
+            params.append(git_rev)
+        if config_hash_prefix:
+            clauses.append("config_hash LIKE ?")
+            params.append(config_hash_prefix + "%")
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY run_id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        return [self._row_to_run(row) for row in self._conn.execute(sql, params)]
+
+    @staticmethod
+    def _row_to_run(row: sqlite3.Row) -> RunRow:
+        import json
+
+        return RunRow(
+            run_id=row["run_id"],
+            config_hash=row["config_hash"],
+            experiment=row["experiment"],
+            system=row["system"],
+            git_rev=row["git_rev"],
+            seed=row["seed"],
+            jobs=row["jobs"],
+            fault_plan=row["fault_plan"],
+            config=json.loads(row["config_json"]),
+            wall_time_s=row["wall_time_s"],
+            created_at=row["created_at"],
+        )
+
+    def metrics(self, run_id: int) -> Dict[str, float]:
+        return {
+            row["name"]: row["value"]
+            for row in self._conn.execute(
+                "SELECT name, value FROM metrics WHERE run_id = ? ORDER BY name",
+                (run_id,),
+            )
+        }
+
+    def artifacts(self, run_id: int) -> List[Tuple[str, str]]:
+        return [
+            (row["kind"], row["path"])
+            for row in self._conn.execute(
+                "SELECT kind, path FROM artifacts WHERE run_id = ? "
+                "ORDER BY kind, path",
+                (run_id,),
+            )
+        ]
+
+    def count_runs(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+
+    def revisions(self) -> List[Tuple[str, int]]:
+        """``(git_rev, run count)`` pairs, newest rev first."""
+        return [
+            (row["git_rev"], row["n"])
+            for row in self._conn.execute(
+                "SELECT git_rev, COUNT(*) AS n, MAX(run_id) AS latest "
+                "FROM runs GROUP BY git_rev ORDER BY latest DESC"
+            )
+        ]
+
+    def resolve_rev(self, token: str) -> str:
+        """Resolve a user-supplied revision token against stored revs.
+
+        ``HEAD`` means the current checkout's revision; otherwise an
+        exact stored rev or a unique prefix of one.  Raises ``ValueError``
+        on no match or an ambiguous prefix.
+        """
+        if token == "HEAD":
+            return current_git_rev()
+        stored = [rev for rev, _ in self.revisions()]
+        if token in stored:
+            return token
+        matches = [rev for rev in stored if rev.startswith(token)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ValueError(
+                f"revision {token!r} has no runs in {self.path} "
+                f"(known: {[r[:12] for r in stored] or 'none'})"
+            )
+        raise ValueError(f"revision prefix {token!r} is ambiguous: "
+                         f"{[r[:12] for r in matches]}")
+
+    def metric_values(
+        self,
+        git_rev: str,
+        metric: Optional[str] = None,
+        experiment: Optional[str] = None,
+        system: Optional[str] = None,
+    ) -> Dict[Tuple[str, str, str], List[float]]:
+        """``(experiment, system, metric) -> values`` at one revision."""
+        clauses = ["runs.git_rev = ?"]
+        params: List[Any] = [git_rev]
+        if metric is not None:
+            clauses.append("metrics.name = ?")
+            params.append(metric)
+        if experiment is not None:
+            clauses.append("runs.experiment = ?")
+            params.append(experiment)
+        if system is not None:
+            clauses.append("runs.system = ?")
+            params.append(system)
+        sql = (
+            "SELECT runs.experiment AS experiment, runs.system AS system, "
+            "metrics.name AS name, metrics.value AS value "
+            "FROM metrics JOIN runs ON runs.run_id = metrics.run_id "
+            "WHERE " + " AND ".join(clauses) + " ORDER BY metrics.run_id"
+        )
+        out: Dict[Tuple[str, str, str], List[float]] = {}
+        for row in self._conn.execute(sql, params):
+            out.setdefault(
+                (row["experiment"], row["system"], row["name"]), []
+            ).append(row["value"])
+        return out
+
+    # -- comparison ---------------------------------------------------
+
+    def compare(
+        self,
+        rev_baseline: str,
+        rev_current: str,
+        metrics: Optional[Sequence[str]] = None,
+        experiment: Optional[str] = None,
+        system: Optional[str] = None,
+    ) -> List[MetricComparison]:
+        """Median-vs-median comparison of two revisions.
+
+        Only ``(experiment, system, metric)`` triples with runs at
+        *both* revisions are compared — a metric that exists on one side
+        only (new benchmark, renamed experiment) is not a regression.
+        Medians over all stored runs absorb machine noise the same way
+        the interleaved-pair benchmarks do.
+        """
+        base = self.metric_values(rev_baseline, experiment=experiment, system=system)
+        curr = self.metric_values(rev_current, experiment=experiment, system=system)
+        wanted = set(metrics) if metrics else None
+        out: List[MetricComparison] = []
+        for key in sorted(set(base) & set(curr)):
+            exp, sys_name, name = key
+            if wanted is not None and name not in wanted:
+                continue
+            out.append(
+                MetricComparison(
+                    experiment=exp,
+                    system=sys_name,
+                    metric=name,
+                    baseline=statistics.median(base[key]),
+                    current=statistics.median(curr[key]),
+                    runs_baseline=len(base[key]),
+                    runs_current=len(curr[key]),
+                )
+            )
+        return out
+
+    # -- retention ----------------------------------------------------
+
+    def gc(
+        self,
+        keep_per_config: Optional[int] = None,
+        before: Optional[str] = None,
+        dry_run: bool = False,
+    ) -> int:
+        """Delete old runs; returns how many runs were (or would be) dropped.
+
+        ``keep_per_config`` keeps the newest N runs of every
+        ``(experiment, system, config_hash)`` group; ``before`` drops
+        runs whose ISO ``created_at`` sorts strictly earlier.  Metrics
+        and artifact rows of dropped runs are deleted too.
+        """
+        doomed: List[int] = []
+        if keep_per_config is not None:
+            if keep_per_config < 1:
+                raise ValueError("keep_per_config must be >= 1")
+            groups: Dict[Tuple[str, str, str], List[int]] = {}
+            for row in self._conn.execute(
+                "SELECT run_id, experiment, system, config_hash FROM runs "
+                "ORDER BY run_id DESC"
+            ):
+                key = (row["experiment"], row["system"], row["config_hash"])
+                groups.setdefault(key, []).append(row["run_id"])
+            for run_ids in groups.values():
+                doomed.extend(run_ids[keep_per_config:])
+        if before is not None:
+            doomed.extend(
+                row["run_id"]
+                for row in self._conn.execute(
+                    "SELECT run_id FROM runs WHERE created_at < ?", (before,)
+                )
+            )
+        doomed = sorted(set(doomed))
+        if dry_run or not doomed:
+            return len(doomed)
+        with self._conn:
+            marks = ",".join("?" * len(doomed))
+            self._conn.execute(f"DELETE FROM metrics WHERE run_id IN ({marks})", doomed)
+            self._conn.execute(
+                f"DELETE FROM artifacts WHERE run_id IN ({marks})", doomed
+            )
+            self._conn.execute(f"DELETE FROM runs WHERE run_id IN ({marks})", doomed)
+        return len(doomed)

@@ -9,6 +9,9 @@ Commands
 ``timeline``               render an execution timeline for a small run
 ``sweep-quota``            sweep 2-app quota splits (Fig. 12-style rows)
 ``trace``                  serve with decision tracing on; export Perfetto JSON
+``results``                query the sqlite results catalog
+                           (``list`` / ``query`` / ``compare`` / ``gc`` /
+                           ``ingest-bench``; see docs/results-catalog.md)
 
 Examples
 --------
@@ -16,6 +19,7 @@ python -m repro serve --models R50 R50 --load C --systems GSLICE BLESS
 python -m repro profile BERT --partitions 18 9 5
 python -m repro timeline --models VGG R50 --width 100
 python -m repro trace --models R50 VGG --load B --out trace.json
+python -m repro results compare origin-main HEAD --threshold throughput_qps=-0.05
 """
 
 from __future__ import annotations
@@ -142,6 +146,27 @@ def cmd_serve(args) -> int:
     if args.output:
         save_results(results, args.output)
         print(f"\nsaved results to {args.output}")
+    # Record the comparison in the results catalog (REPRO_CATALOG=off
+    # opts out) so ad-hoc serves are queryable next to the sweeps.
+    from .catalog.ingest import ingest_metrics_safe, result_metrics
+
+    artifacts = [("results", args.output)] if args.output else []
+    for name, result in zip(args.systems, results):
+        ingest_metrics_safe(
+            "serve",
+            name,
+            {
+                "experiment": "serve",
+                "models": list(args.models),
+                "quotas": args.quotas,
+                "load": args.load,
+                "requests": args.requests,
+                "training": bool(args.training),
+                "fault_plan": fault_plan.describe() if fault_plan else None,
+            },
+            result_metrics(result),
+            artifacts=artifacts,
+        )
     return 0
 
 
@@ -260,6 +285,193 @@ def cmd_cluster(args) -> int:
         print(f"trace: {_write_trace(controller.tracer, trace_target)}")
         if not trace_target.endswith(".jsonl"):
             print("open it at https://ui.perfetto.dev (per-GPU tracks)")
+    return 0
+
+
+def _open_catalog(args):
+    from .catalog import ResultsCatalog
+    from .catalog.ingest import resolve_catalog_path
+
+    path = resolve_catalog_path(args.db)
+    if path is None:
+        raise SystemExit(
+            "error: the results catalog is disabled (REPRO_CATALOG=off); "
+            "pass --db PATH to query one explicitly"
+        )
+    if not path.exists() and not getattr(args, "create", False):
+        raise SystemExit(
+            f"error: no catalog at {path} (run an experiment first, or pass "
+            "--db pointing at one; see docs/results-catalog.md)"
+        )
+    return ResultsCatalog(path)
+
+
+def cmd_results_list(args) -> int:
+    from .experiments.common import format_table
+
+    with _open_catalog(args) as catalog:
+        rows = catalog.runs(
+            experiment=args.experiment,
+            system=args.system,
+            git_rev=catalog.resolve_rev(args.rev) if args.rev else None,
+            limit=args.limit,
+        )
+        table = [
+            [
+                str(run.run_id),
+                run.created_at[:19],
+                run.experiment,
+                run.system,
+                run.git_rev[:10],
+                run.config_hash[:10],
+                f"{run.wall_time_s:.2f}s" if run.wall_time_s is not None else "-",
+            ]
+            for run in rows
+        ]
+        print(
+            format_table(
+                ["run", "created (utc)", "experiment", "system", "rev",
+                 "config", "wall"],
+                table,
+                title=f"{catalog.path}: {catalog.count_runs()} runs, "
+                f"{len(catalog.revisions())} revisions "
+                f"(showing {len(rows)})",
+            )
+        )
+    return 0
+
+
+def cmd_results_query(args) -> int:
+    import json as _json
+
+    from .experiments.common import format_table
+
+    with _open_catalog(args) as catalog:
+        rev = catalog.resolve_rev(args.rev) if args.rev else None
+        revisions = [rev] if rev else [r for r, _ in catalog.revisions()]
+        rows = []
+        for revision in revisions:
+            values = catalog.metric_values(
+                revision,
+                metric=args.metric,
+                experiment=args.experiment,
+                system=args.system,
+            )
+            for (experiment, system, metric), series in sorted(values.items()):
+                rows.append(
+                    {
+                        "rev": revision,
+                        "experiment": experiment,
+                        "system": system,
+                        "metric": metric,
+                        "runs": len(series),
+                        "median": sorted(series)[len(series) // 2],
+                        "latest": series[-1],
+                    }
+                )
+        if args.json:
+            print(_json.dumps(rows, indent=2))
+            return 0
+        print(
+            format_table(
+                ["rev", "experiment", "system", "metric", "runs", "median",
+                 "latest"],
+                [
+                    [
+                        row["rev"][:10],
+                        row["experiment"],
+                        row["system"],
+                        row["metric"],
+                        str(row["runs"]),
+                        f"{row['median']:.6g}",
+                        f"{row['latest']:.6g}",
+                    ]
+                    for row in rows
+                ],
+            )
+        )
+    return 0
+
+
+def cmd_results_compare(args) -> int:
+    """Diff two revisions' metrics; exit 1 past the regression thresholds."""
+    import json as _json
+
+    from .catalog import evaluate, format_comparison_table, parse_thresholds
+
+    thresholds = parse_thresholds(args.threshold or [])
+    with _open_catalog(args) as catalog:
+        try:
+            rev_a = catalog.resolve_rev(args.rev_baseline)
+            rev_b = catalog.resolve_rev(args.rev_current)
+        except ValueError as error:
+            print(f"error: {error}")
+            return 2
+        comparisons = catalog.compare(
+            rev_a,
+            rev_b,
+            metrics=args.metric or None,
+            experiment=args.experiment,
+            system=args.system,
+        )
+        violations, checked = evaluate(comparisons, thresholds)
+        if args.json:
+            print(
+                _json.dumps(
+                    {
+                        "baseline": rev_a,
+                        "current": rev_b,
+                        "thresholds": thresholds,
+                        "checked": len(checked),
+                        "violations": [v.describe() for v in violations],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(f"baseline {rev_a[:12]} vs current {rev_b[:12]} "
+                  f"({len(comparisons)} shared metrics, {len(checked)} gated)")
+            if comparisons:
+                print(format_comparison_table(comparisons, thresholds, violations))
+            if not checked:
+                print("note: no gated metrics overlap these revisions "
+                      f"(thresholds: {thresholds})")
+            if violations:
+                print(f"\nPERF GATE: {len(violations)} regression(s) "
+                      "past threshold:")
+                for violation in violations:
+                    print(f"  {violation.describe()}")
+            else:
+                print("\nPERF GATE: ok")
+        return 1 if violations else 0
+
+
+def cmd_results_gc(args) -> int:
+    with _open_catalog(args) as catalog:
+        dropped = catalog.gc(
+            keep_per_config=args.keep, before=args.before, dry_run=args.dry_run
+        )
+        verb = "would drop" if args.dry_run else "dropped"
+        print(f"{verb} {dropped} run(s); {catalog.count_runs()} remain "
+              f"in {catalog.path}")
+    return 0
+
+
+def cmd_results_ingest_bench(args) -> int:
+    """Load BENCH_*.json trajectory snapshots into the catalog (CI baseline)."""
+    from .catalog import ResultsCatalog
+    from .catalog.ingest import ingest_bench_file, resolve_catalog_path
+
+    path = resolve_catalog_path(args.db)
+    if path is None:
+        raise SystemExit("error: catalog disabled (REPRO_CATALOG=off)")
+    total = 0
+    with ResultsCatalog(path) as catalog:
+        for bench_path in args.paths:
+            count = ingest_bench_file(bench_path, catalog)
+            print(f"ingested {count} benchmark run(s) from {bench_path}")
+            total += count
+    print(f"{total} run(s) into {path}")
     return 0
 
 
@@ -390,6 +602,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", help="inject faults (see `serve --fault-plan`)")
     p.add_argument("--fault-seed", type=int)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "results",
+        help="query the sqlite results catalog (docs/results-catalog.md)",
+    )
+    results_sub = p.add_subparsers(dest="results_command", required=True)
+    db_help = (
+        "catalog sqlite file (default: REPRO_CATALOG, then "
+        "results/catalog.sqlite)"
+    )
+
+    rp = results_sub.add_parser("list", help="list recorded runs, newest first")
+    rp.add_argument("--db", help=db_help)
+    rp.add_argument("--experiment", help="filter by experiment name")
+    rp.add_argument("--system", help="filter by system name")
+    rp.add_argument("--rev", help="filter by git revision (prefix or HEAD)")
+    rp.add_argument("--limit", type=int, default=20)
+    rp.set_defaults(func=cmd_results_list)
+
+    rp = results_sub.add_parser(
+        "query", help="per-(experiment, system, metric) values by revision"
+    )
+    rp.add_argument("--db", help=db_help)
+    rp.add_argument("--experiment", help="filter by experiment name")
+    rp.add_argument("--system", help="filter by system name")
+    rp.add_argument("--rev", help="one revision only (prefix or HEAD)")
+    rp.add_argument("--metric", help="one metric name (default: all)")
+    rp.add_argument("--json", action="store_true", help="emit JSON rows")
+    rp.set_defaults(func=cmd_results_query)
+
+    rp = results_sub.add_parser(
+        "compare",
+        help="diff two revisions' metric medians; exit 1 past thresholds",
+    )
+    rp.add_argument("rev_baseline", help="baseline revision (prefix or HEAD)")
+    rp.add_argument("rev_current", help="candidate revision (prefix or HEAD)")
+    rp.add_argument("--db", help=db_help)
+    rp.add_argument("--experiment", help="restrict to one experiment")
+    rp.add_argument("--system", help="restrict to one system")
+    rp.add_argument(
+        "--metric", action="append",
+        help="restrict the diff to these metrics (repeatable)",
+    )
+    rp.add_argument(
+        "--threshold",
+        action="append",
+        metavar="METRIC=FRAC",
+        help="gate: signed fraction, sign = bad direction (default: "
+        "throughput_qps=-0.05 p99_latency_us=0.10 speedup=-0.10)",
+    )
+    rp.add_argument("--json", action="store_true", help="emit a JSON verdict")
+    rp.set_defaults(func=cmd_results_compare)
+
+    rp = results_sub.add_parser("gc", help="bound the catalog's size")
+    rp.add_argument("--db", help=db_help)
+    rp.add_argument(
+        "--keep", type=int, default=10,
+        help="newest runs kept per (experiment, system, config hash)",
+    )
+    rp.add_argument("--before", help="also drop runs created before this ISO time")
+    rp.add_argument("--dry-run", action="store_true")
+    rp.set_defaults(func=cmd_results_gc)
+
+    rp = results_sub.add_parser(
+        "ingest-bench",
+        help="load BENCH_*.json trajectory snapshots (the CI baseline seed)",
+    )
+    rp.add_argument("paths", nargs="+", help="BENCH_*.json files")
+    rp.add_argument("--db", help=db_help)
+    rp.set_defaults(func=cmd_results_ingest_bench)
 
     p = sub.add_parser(
         "cluster", help="serve a workload across a multi-GPU cluster (§4.2.2)"

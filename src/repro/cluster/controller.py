@@ -24,6 +24,7 @@ from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.base import SharingSystem
+from ..catalog.ingest import ingest_metrics_safe, result_metrics
 from ..core.runtime import BlessRuntime
 from ..gpusim.device import GPUSpec
 from ..metrics.stats import ServingResult
@@ -67,6 +68,7 @@ def serve_gpus(
     jobs: Optional[int] = None,
     tracer: Optional[ClusterTracer] = None,
     offset_us: float = 0.0,
+    experiment: str = "cluster",
 ) -> Dict[int, ServingResult]:
     """Serve each GPU's bindings on a private system instance.
 
@@ -106,7 +108,7 @@ def serve_gpus(
     ]
     if resolve_jobs(jobs) > 1 and not cells_are_picklable(cells):
         jobs = 1
-    results = run_cells(cells, jobs=jobs)
+    results = run_cells(cells, jobs=jobs, experiment=experiment)
     for (gpu_index, _), result in zip(gpu_bindings, results):
         per_gpu[gpu_index] = result
     return per_gpu
@@ -199,6 +201,24 @@ class ClusterController:
             [per_gpu[gpu_index] for gpu_index, _ in gpu_bindings],
             system=f"cluster/{system_name(self.system_factory, self.system_kwargs)}",
             num_slots=len(self.placer.slots),
+        )
+        # Record the cluster-wide merge (not just the per-GPU cells) so
+        # the catalog carries the completed + shed == arrived accounting
+        # at the level CI perf queries compare.
+        ingest_metrics_safe(
+            "cluster_merged",
+            merged.system,
+            {
+                "experiment": "cluster_merged",
+                "num_gpus": len(self.placer.slots),
+                "policy": self.placer.policy.value,
+                "placements": {
+                    str(index): [a.app_id for a in apps]
+                    for index, apps in sorted(placements.items())
+                },
+            },
+            result_metrics(merged),
+            jobs=jobs,
         )
         return ClusterResult(
             merged=merged,

@@ -45,6 +45,7 @@ from ..obs.events import (
     CLUSTER_PLACE,
     CLUSTER_SHED,
 )
+from ..catalog.ingest import ingest_metrics_safe, result_metrics
 from ..workloads.arrivals import ArrivalProcess, drain_process
 from ..workloads.suite import WorkloadBinding, estimated_solo_us
 from .controller import SystemFactory, serve_gpus, system_name
@@ -369,6 +370,22 @@ class OnlineClusterController:
         else:
             merged = ServingResult(system=name)
         merged.extras.update(self.stats.as_dict())
+        ingest_metrics_safe(
+            "cluster_online",
+            merged.system,
+            {
+                "experiment": "cluster_online",
+                "num_gpus": self.num_gpus,
+                "policy": self.placer.policy.value,
+                "migrate": self.migrate,
+                "epochs": epochs,
+                "schedule": [
+                    [a.app_id, a.arrive_epoch, a.depart_epoch] for a in schedule
+                ],
+            },
+            result_metrics(merged),
+            jobs=jobs,
+        )
         return OnlineClusterResult(
             merged=merged,
             per_epoch=per_epoch,

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..apps.models import inference_app
+from ..catalog.ingest import ingest_metrics_safe
 from ..cluster import AppArrival, OnlineClusterController, PlacementPolicy
 from ..workloads.suite import QUOTAS_4MODEL, bind_load
 from .common import format_table
@@ -80,7 +81,8 @@ def run(
                 arrived = extras.get("fault_requests_arrived", completed)
                 shed = extras.get("fault_shed_requests", 0.0)
                 turned_away = extras.get("cluster_requests_shed", 0.0)
-                out[f"gpus={num_gpus} policy={policy} load={load}"] = {
+                scenario = f"gpus={num_gpus} policy={policy} load={load}"
+                out[scenario] = {
                     "mean_ms": result.merged.mean_of_app_means() / 1000.0,
                     "util": result.merged.utilization,
                     "completed": completed,
@@ -91,6 +93,28 @@ def run(
                     "migrations": float(result.stats.migrations),
                     "makespan_ms": result.merged.makespan_us / 1000.0,
                 }
+                # Scenario-level catalog row: this is the granularity
+                # cross-PR sweeps are compared at (one row per grid
+                # point, config-hashed on the axes).  The gate metrics
+                # (throughput_qps, p99_latency_us) ride only in the
+                # catalog — the returned dict is golden-pinned.
+                ingest_metrics_safe(
+                    "cluster_scale",
+                    result.merged.system,
+                    {
+                        "experiment": "cluster_scale",
+                        "gpus": num_gpus,
+                        "policy": policy,
+                        "load": load,
+                        "requests": requests,
+                    },
+                    {
+                        **out[scenario],
+                        "throughput_qps": result.merged.throughput_qps(),
+                        "p99_latency_us": result.merged.percentile_latency(99),
+                    },
+                    jobs=jobs,
+                )
     return out
 
 

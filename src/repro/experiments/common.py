@@ -40,6 +40,7 @@ from ..metrics.stats import ServingResult
 from ..parallel import (  # noqa: F401  (re-exported API)
     CellExecutionError,
     ServeCell,
+    _caller_experiment,
     _reset_pool,
     resolve_jobs,
     run_cells,
@@ -72,8 +73,14 @@ def serve_all(
     bindings_factory: Callable[[], Sequence[WorkloadBinding]],
     systems: Optional[Dict[str, Callable[[], SharingSystem]]] = None,
     jobs: Optional[int] = None,
+    experiment: Optional[str] = None,
 ) -> Dict[str, ServingResult]:
-    """Serve the same (freshly bound) workload on every system."""
+    """Serve the same (freshly bound) workload on every system.
+
+    ``experiment`` labels the grid's rows in the results catalog; by
+    default the calling experiment module's name is used, so every
+    per-figure runner is queryable by name without code changes.
+    """
     chosen = systems or INFERENCE_SYSTEMS
     cells = [
         ServeCell(
@@ -84,7 +91,9 @@ def serve_all(
         )
         for name, factory in chosen.items()
     ]
-    results = run_cells(cells, jobs=jobs)
+    results = run_cells(
+        cells, jobs=jobs, experiment=experiment or _caller_experiment(2)
+    )
     return {cell.system: result for cell, result in zip(cells, results)}
 
 

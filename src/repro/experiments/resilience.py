@@ -24,6 +24,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Dict, Optional
 
+from ..catalog.ingest import ingest_metrics_safe
 from ..gpusim.faults import FaultPlan
 from ..workloads.suite import bind_load, symmetric_pair
 from .common import INFERENCE_SYSTEMS, ServeCell, format_table, run_cells
@@ -79,7 +80,7 @@ def run(
         rate, name = cell.key
         extras = result.extras
         arrived = extras.get("fault_requests_arrived", float(len(result.records)))
-        out.setdefault(f"failure={rate:g}", {})[name] = {
+        stats = {
             "arrived": arrived,
             "completed": float(len(result.records)),
             "shed": extras.get("fault_shed_requests", 0.0),
@@ -87,6 +88,27 @@ def run(
             "degradation": extras.get("fault_degradation_events", 0.0),
             "mean_ms": result.mean_latency() / 1000.0,
         }
+        out.setdefault(f"failure={rate:g}", {})[name] = stats
+        # Scenario-level catalog row alongside the per-cell auto-ingest:
+        # one row per (failure rate, system) grid point, gate-queryable.
+        ingest_metrics_safe(
+            "resilience",
+            name,
+            {
+                "experiment": "resilience",
+                "failure_rate": rate,
+                "model": model,
+                "requests": requests,
+                "seed": seed,
+            },
+            {
+                **stats,
+                "throughput_qps": result.throughput_qps(),
+                "p99_latency_us": result.percentile_latency(99),
+            },
+            seed=seed,
+            jobs=jobs,
+        )
     return out
 
 

@@ -29,10 +29,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, List, Optional, Sequence
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from .baselines.base import SharingSystem
 from .metrics.stats import ServingResult
@@ -75,9 +77,14 @@ class ServeCell:
         return system.serve(self.bindings_factory())
 
 
-def _execute_cell(cell: ServeCell) -> ServingResult:
+def _execute_cell(cell: ServeCell) -> Tuple[ServingResult, float]:
     # Module-level trampoline so ProcessPoolExecutor can pickle it.
-    return cell.execute()
+    # Workers return (result, wall seconds) so the parent can ingest
+    # each cell into the results catalog with its true simulation cost
+    # — the worker-side wall time, not the parent's future-wait time.
+    started = time.perf_counter()
+    result = cell.execute()
+    return result, time.perf_counter() - started
 
 
 class CellExecutionError(RuntimeError):
@@ -125,11 +132,27 @@ def _reset_pool() -> None:
     _pool_key = None
 
 
-def _execute_serial(cell: ServeCell) -> ServingResult:
+def _execute_serial(cell: ServeCell) -> Tuple[ServingResult, float]:
+    started = time.perf_counter()
     try:
-        return cell.execute()
+        result = cell.execute()
     except Exception as exc:
         raise CellExecutionError(cell, exc) from exc
+    return result, time.perf_counter() - started
+
+
+def _caller_experiment(depth: int = 2) -> str:
+    """Short module name of the frame calling into the harness.
+
+    Used as the catalog's default experiment label so every per-figure
+    runner gets a sensible name (``fig13_overall``, ``resilience``, …)
+    without threading a parameter through each module.
+    """
+    try:
+        name = sys._getframe(depth).f_globals.get("__name__", "")
+    except ValueError:
+        name = ""
+    return name.rsplit(".", 1)[-1] or "adhoc"
 
 
 def cells_are_picklable(cells: Sequence[ServeCell]) -> bool:
@@ -148,7 +171,9 @@ def cells_are_picklable(cells: Sequence[ServeCell]) -> bool:
 
 
 def run_cells(
-    cells: Iterable[ServeCell], jobs: Optional[int] = None
+    cells: Iterable[ServeCell],
+    jobs: Optional[int] = None,
+    experiment: Optional[str] = None,
 ) -> List[ServingResult]:
     """Execute every cell; results align with the input order.
 
@@ -163,34 +188,58 @@ def run_cells(
     import skew, resource limits) recovers transparently, while a
     genuine simulation bug fails the same way with a local, complete
     traceback.
+
+    Every completed grid is recorded into the sqlite results catalog
+    (``REPRO_CATALOG``; default ``results/catalog.sqlite``, ``off``
+    disables) under ``experiment`` — defaulting to the calling module's
+    name — with per-cell worker wall times; see docs/results-catalog.md.
     """
     cells = list(cells)
+    if experiment is None:
+        experiment = _caller_experiment(2)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(cells) <= 1:
-        return [_execute_serial(cell) for cell in cells]
-    pool = _get_pool(min(jobs, len(cells)))
-    try:
-        futures = [pool.submit(_execute_cell, cell) for cell in cells]
-    except RuntimeError:
-        # Pool already shut down (e.g. interpreter teardown races).
-        _reset_pool()
-        return [_execute_serial(cell) for cell in cells]
-    results: List[ServingResult] = []
+    outcomes: List[Tuple[ServingResult, float]]
     broken = False
-    for cell, future in zip(cells, futures):
+    if jobs <= 1 or len(cells) <= 1:
+        outcomes = [_execute_serial(cell) for cell in cells]
+    else:
+        pool = _get_pool(min(jobs, len(cells)))
         try:
-            results.append(future.result())
-        except BrokenProcessPool:
-            # The pool is gone (worker killed, fork bomb, OOM).  All
-            # remaining futures will fail the same way: re-run each
-            # affected cell serially instead of losing the whole grid.
-            broken = True
-            results.append(_execute_serial(cell))
-        except Exception:
-            # Only this cell failed in the worker — retry it here so
-            # transient worker trouble doesn't kill the run; a real
-            # bug re-raises as CellExecutionError with full context.
-            results.append(_execute_serial(cell))
-    if broken:
-        _reset_pool()
+            futures = [pool.submit(_execute_cell, cell) for cell in cells]
+        except RuntimeError:
+            # Pool already shut down (e.g. interpreter teardown races).
+            _reset_pool()
+            futures = None
+        if futures is None:
+            outcomes = [_execute_serial(cell) for cell in cells]
+        else:
+            outcomes = []
+            for cell, future in zip(cells, futures):
+                try:
+                    outcomes.append(future.result())
+                except BrokenProcessPool:
+                    # The pool is gone (worker killed, fork bomb, OOM).
+                    # All remaining futures will fail the same way:
+                    # re-run each affected cell serially instead of
+                    # losing the whole grid.
+                    broken = True
+                    outcomes.append(_execute_serial(cell))
+                except Exception:
+                    # Only this cell failed in the worker — retry it
+                    # here so transient worker trouble doesn't kill the
+                    # run; a real bug re-raises as CellExecutionError
+                    # with full context.
+                    outcomes.append(_execute_serial(cell))
+            if broken:
+                _reset_pool()
+    results = [result for result, _ in outcomes]
+    from .catalog.ingest import ingest_cells_safe
+
+    ingest_cells_safe(
+        cells,
+        results,
+        [wall for _, wall in outcomes],
+        experiment=experiment,
+        jobs=jobs,
+    )
     return results

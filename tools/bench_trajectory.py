@@ -12,8 +12,15 @@ change and diff the two entries.
 Usage:
     python tools/bench_trajectory.py [--output-dir DIR] [-k EXPR]
 
-CI wires this into the bench-smoke job and uploads the snapshot as an
-artifact, so every push leaves a queryable perf trail.
+Each entry records the git revision it measured, and — unless
+``REPRO_CATALOG=off`` — is also ingested into the sqlite results
+catalog, so ``repro results compare`` and ``tools/perf_gate.py`` can
+diff revisions without re-running anything.  The pytest subprocess runs
+with ``PYTHONHASHSEED=0`` so hash-order effects never masquerade as
+perf swings.
+
+CI wires this into the bench-smoke and perf-gate jobs and uploads the
+snapshot as an artifact, so every push leaves a queryable perf trail.
 """
 
 from __future__ import annotations
@@ -21,12 +28,14 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def run_benchmarks(select: str, pytest_args: list) -> dict:
@@ -45,7 +54,17 @@ def run_benchmarks(select: str, pytest_args: list) -> dict:
         if select:
             cmd += ["-k", select]
         cmd += pytest_args
-        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        # Pin hash randomization: benchmark comparisons across runs
+        # must not see dict/set iteration-order noise.  The src/ dir on
+        # PYTHONPATH keeps this runnable from a bare checkout (CI pip
+        # installs the package, but the gate must not require that).
+        path_parts = [str(REPO_ROOT / "src"), os.environ.get("PYTHONPATH", "")]
+        env = {
+            **os.environ,
+            "PYTHONHASHSEED": "0",
+            "PYTHONPATH": os.pathsep.join(p for p in path_parts if p),
+        }
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
         if proc.returncode != 0:
             raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
         return json.loads(raw_path.read_text())
@@ -53,8 +72,11 @@ def run_benchmarks(select: str, pytest_args: list) -> dict:
 
 def distil(raw: dict) -> dict:
     """Reduce pytest-benchmark output to one trajectory entry."""
+    from repro.catalog import current_git_rev
+
     entry = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "git_rev": current_git_rev(REPO_ROOT),
         "machine": raw.get("machine_info", {}).get("node", ""),
         "python": raw.get("machine_info", {}).get("python_version", ""),
         "benchmarks": [],
@@ -121,6 +143,20 @@ def main(argv=None) -> None:
     path = append_snapshot(entry, args.output_dir)
     names = ", ".join(b["name"] for b in entry["benchmarks"]) or "none"
     print(f"appended {len(entry['benchmarks'])} benchmark(s) [{names}] to {path}")
+
+    # Mirror the snapshot into the results catalog (REPRO_CATALOG=off
+    # opts out) so perf trajectories are queryable next to experiments.
+    try:
+        from repro.catalog import catalog_enabled, ingest_bench_entry
+
+        if catalog_enabled():
+            count = ingest_bench_entry(entry, source=str(path))
+            from repro.catalog.ingest import resolve_catalog_path
+
+            print(f"ingested {count} benchmark run(s) into "
+                  f"{resolve_catalog_path()} @ {entry['git_rev'][:12]}")
+    except Exception as exc:  # catalog trouble must not fail the bench run
+        print(f"warning: catalog ingest skipped: {exc}", file=sys.stderr)
 
 
 if __name__ == "__main__":

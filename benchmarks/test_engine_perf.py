@@ -1,26 +1,35 @@
-"""End-to-end engine + harness speedup benchmark (ISSUE 2).
+"""End-to-end engine + harness speedup benchmark (ISSUEs 2 and 7).
 
 Replays a fig13-style workload (the five symmetric model pairs at load
-A, all seven systems) through three builds:
+A, all seven systems) through the engine builds:
 
 * ``legacy``      — the PR-1 baseline: per-event full-queue dispatch
                     scan, unconditional rebalance, one launch event per
                     kernel, serial harness;
 * ``scalar``      — incremental ready-set + rebalance skipping, scalar
                     rate arithmetic (the equivalence reference);
-* ``vectorized``  — the default: membership-memoized rates with the
-                    numpy batch path, run under the process-parallel
-                    harness (``jobs=2``).
+* ``vectorized``  — the PR-2/PR-6 engine: membership-memoized rates
+                    with the numpy batch path;
+* ``batched``     — the default since ISSUE 7: rate-change epochs with
+                    out-of-heap completion/gap pseudo-events, fused
+                    advance+sweep ticks, and a process-wide L2 rate
+                    memo keyed on portable value signatures;
+* ``jit``         — ``batched`` plus the numba rebalance kernel when
+                    numba is installed (silently interpreted when not).
 
-Asserts the ISSUE-2 acceptance criteria: >= 3x end-to-end speedup of
-the optimized configuration over the PR-1 baseline, and *identical*
-figure output (every latency float) across all builds and across
-serial vs parallel execution.
+Asserts the ISSUE-2 acceptance floor (>= 3x end-to-end speedup of the
+optimized configuration over the PR-1 baseline) plus the ISSUE-7
+contracts: the epoch-batched engine must not regress against the
+frozen ``vectorized`` reference (measured median on this workload is
+~1.1-1.25x in its favour; the asserted floor is 0.8 because the pair
+ratio still swings +-20% on shared boxes), and *identical* figure
+output (every latency float) across all five modes and across serial
+vs parallel execution.
 
 Measurement: shared CI boxes show 30%+ wall-clock swings between
-back-to-back runs, so baseline and optimized builds are timed in
-interleaved pairs — both legs of a pair see the same machine weather —
-and the asserted speedup is the median of the per-pair ratios.
+back-to-back runs, so compared builds are timed in interleaved pairs —
+both legs of a pair see the same machine weather — and the asserted
+speedups are medians of the per-pair ratios.
 """
 
 import os
@@ -32,6 +41,11 @@ from repro.experiments.fig13_overall import run_inference
 REQUESTS = 4
 LOADS = ("A",)
 TRIALS = 5
+
+#: Floor for the batched-vs-vectorized interleaved median.  The honest
+#: measured value on this workload is ~1.1-1.25x (the epoch engine
+#: wins); 0.8 is the regression tripwire that survives CI noise.
+EPOCH_FLOOR = 0.8
 
 
 def run_build(mode, jobs):
@@ -50,32 +64,52 @@ def test_engine_speedup_and_equivalence(benchmark):
     run_inference(requests=1, loads=("A",), jobs=2)
 
     scalar_data, scalar_seconds = run_build("scalar", jobs=1)
-    vec_serial_data, vec_serial_seconds = run_build("vectorized", jobs=1)
+    jit_data, jit_seconds = run_build("jit", jobs=1)
 
     # Interleaved baseline/optimized pairs; per-pair speedup ratios.
+    # The optimized leg is the default engine (batched) under jobs=2.
     legacy_data = None
-    vec_parallel_data = None
+    batched_parallel_data = None
     legacy_times = []
     optimized_times = []
     ratios = []
     for _ in range(TRIALS):
         legacy_data, legacy_seconds = run_build("legacy", jobs=1)
-        vec_parallel_data, optimized_seconds = run_build("vectorized", jobs=2)
+        batched_parallel_data, optimized_seconds = run_build("batched", jobs=2)
         legacy_times.append(legacy_seconds)
         optimized_times.append(optimized_seconds)
         ratios.append(legacy_seconds / optimized_seconds)
-
     speedup = statistics.median(ratios)
+
+    # Epoch-engine pairs: the frozen PR-6 reference vs the batched
+    # engine, both serial, so the ratio isolates engine machinery.
+    vec_data = None
+    batched_data = None
+    vec_times = []
+    batched_times = []
+    epoch_ratios = []
+    for _ in range(TRIALS):
+        vec_data, vec_seconds = run_build("vectorized", jobs=1)
+        batched_data, batched_seconds = run_build("batched", jobs=1)
+        vec_times.append(vec_seconds)
+        batched_times.append(batched_seconds)
+        epoch_ratios.append(vec_seconds / batched_seconds)
+    epoch_speedup = statistics.median(epoch_ratios)
+
     benchmark.extra_info["legacy_s"] = round(min(legacy_times), 2)
     benchmark.extra_info["scalar_s"] = round(scalar_seconds, 2)
-    benchmark.extra_info["vectorized_serial_s"] = round(vec_serial_seconds, 2)
-    benchmark.extra_info["vectorized_jobs2_s"] = round(min(optimized_times), 2)
+    benchmark.extra_info["jit_s"] = round(jit_seconds, 2)
+    benchmark.extra_info["vectorized_s"] = round(min(vec_times), 2)
+    benchmark.extra_info["batched_s"] = round(min(batched_times), 2)
+    benchmark.extra_info["batched_jobs2_s"] = round(min(optimized_times), 2)
     benchmark.extra_info["pair_speedups"] = [round(r, 2) for r in ratios]
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["epoch_pair_speedups"] = [
+        round(r, 2) for r in epoch_ratios
+    ]
+    benchmark.extra_info["epoch_speedup"] = round(epoch_speedup, 2)
 
-    benchmark.pedantic(
-        run_build, args=("vectorized", 2), rounds=1, iterations=1
-    )
+    benchmark.pedantic(run_build, args=("batched", 2), rounds=1, iterations=1)
 
     # ISSUE-2 acceptance: >= 3x end to end over the PR-1 baseline.
     assert speedup >= 3.0, (
@@ -83,8 +117,20 @@ def test_engine_speedup_and_equivalence(benchmark):
         f"over the legacy engine"
     )
 
-    # Byte-identical figure output across every build: run_inference
+    # ISSUE-7 tripwire: the epoch-batched default must not regress
+    # against the frozen vectorized reference.
+    assert epoch_speedup >= EPOCH_FLOOR, (
+        f"batched engine at {epoch_speedup:.2f}x of vectorized (median of "
+        f"{[f'{r:.2f}' for r in epoch_ratios]}) — below the {EPOCH_FLOOR}x "
+        f"regression floor"
+    )
+
+    # Byte-identical figure output across every mode: run_inference
     # returns raw floats, so plain equality is bit-for-bit.
     assert scalar_data == legacy_data, "scalar diverged from legacy"
-    assert vec_serial_data == legacy_data, "vectorized diverged from legacy"
-    assert vec_parallel_data == legacy_data, "parallel diverged from serial"
+    assert vec_data == legacy_data, "vectorized diverged from legacy"
+    assert batched_data == legacy_data, "batched diverged from legacy"
+    assert jit_data == legacy_data, "jit diverged from legacy"
+    assert batched_parallel_data == legacy_data, (
+        "parallel diverged from serial"
+    )

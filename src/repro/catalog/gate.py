@@ -10,7 +10,7 @@ bad direction**:
 
 This keeps the gate direction-explicit without a separate
 higher/lower-is-better table, and makes custom gates one CLI flag:
-``--threshold speedup=-0.10``.  The defaults are the CI contract
+``--threshold speedup=-0.25``.  The defaults are the CI contract
 (docs/results-catalog.md): throughput −5%, p99 +10%, and the
 benchmarks' interleaved-median ``speedup`` ratios −25%.
 """

@@ -30,7 +30,13 @@ from ..gpusim.device import GPUSpec
 from ..metrics.stats import ServingResult
 from ..obs import ClusterTracer, resolve_tracing
 from ..obs.events import CLUSTER_PLACE
-from ..parallel import ServeCell, cells_are_picklable, resolve_jobs, run_cells
+from ..parallel import (
+    ServeCell,
+    cells_are_picklable,
+    resolve_backend,
+    resolve_jobs,
+    run_cells,
+)
 from ..workloads.suite import WorkloadBinding
 from .placement import ClusterPlacer, PlacementPolicy
 
@@ -69,12 +75,15 @@ def serve_gpus(
     tracer: Optional[ClusterTracer] = None,
     offset_us: float = 0.0,
     experiment: str = "cluster",
+    backend: Optional[str] = None,
 ) -> Dict[int, ServingResult]:
     """Serve each GPU's bindings on a private system instance.
 
     ``gpu_bindings`` is ``[(gpu_index, bindings), ...]``; each entry
     becomes one :class:`ServeCell` executed through the shared process
-    pool.  Bindings that cannot pickle (a test handed us closures) run
+    pool — or in this process when ``backend="inproc"`` (small squads,
+    where pool submit+pickle would dominate the serve itself).
+    Bindings that cannot pickle (a test handed us closures) run
     serially instead of failing one round-trip per GPU.
 
     Tracing forces the in-process path: per-GPU tracer records never
@@ -106,9 +115,10 @@ def serve_gpus(
         )
         for gpu_index, bindings in gpu_bindings
     ]
-    if resolve_jobs(jobs) > 1 and not cells_are_picklable(cells):
+    pool_possible = resolve_backend(backend) != "inproc"
+    if pool_possible and resolve_jobs(jobs) > 1 and not cells_are_picklable(cells):
         jobs = 1
-    results = run_cells(cells, jobs=jobs, experiment=experiment)
+    results = run_cells(cells, jobs=jobs, experiment=experiment, backend=backend)
     for (gpu_index, _), result in zip(gpu_bindings, results):
         per_gpu[gpu_index] = result
     return per_gpu
@@ -153,13 +163,18 @@ class ClusterController:
         return len(self.placer.slots)
 
     def serve(
-        self, bindings: Sequence[WorkloadBinding], jobs: Optional[int] = None
+        self,
+        bindings: Sequence[WorkloadBinding],
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> ClusterResult:
         """Place every binding's app, then serve each GPU to completion.
 
         ``jobs`` follows the harness-wide policy (None → ``REPRO_JOBS``
         → serial); GPUs serve concurrently across the process pool with
-        byte-identical output to a serial run.
+        byte-identical output to a serial run.  ``backend`` follows
+        :func:`repro.parallel.resolve_backend` (``"inproc"`` keeps
+        small squads out of the pool).
         """
         if not bindings:
             raise ValueError("cannot serve an empty cluster workload")
@@ -190,6 +205,7 @@ class ClusterController:
             self.system_kwargs,
             jobs=jobs,
             tracer=self.tracer,
+            backend=backend,
         )
         # Merge in GPU slot-index order — deterministic regardless of
         # pool completion order.  num_slots counts idle GPUs too: a

@@ -46,6 +46,7 @@ from ..obs.events import (
     CLUSTER_SHED,
 )
 from ..catalog.ingest import ingest_metrics_safe, result_metrics
+from ..parallel import resolve_backend
 from ..workloads.arrivals import ArrivalProcess, drain_process
 from ..workloads.suite import WorkloadBinding, estimated_solo_us
 from .controller import SystemFactory, serve_gpus, system_name
@@ -55,6 +56,12 @@ from .placement import ClusterPlacer, PlacementPolicy
 #: application does not fit at its requested quota (cluster-scope
 #: analogue of the robustness layer's degraded relaunches).
 DEFAULT_DEGRADE_FACTORS: Tuple[float, ...] = (0.75, 0.5)
+
+#: Below this many occupied GPUs in an epoch, the serve fans out
+#: in-process instead of over the pool: ProcessPoolExecutor submit +
+#: pickle + result round-trips cost more than the epochs themselves
+#: for squads this small (results are byte-identical either way).
+INPROC_GPU_THRESHOLD = 4
 
 
 @dataclass(frozen=True)
@@ -240,12 +247,17 @@ class OnlineClusterController:
         schedule: Sequence[AppArrival],
         epochs: Optional[int] = None,
         jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> OnlineClusterResult:
         """Run the online schedule to completion.
 
         ``epochs`` defaults to the horizon the schedule implies (every
         app arrives and departs); ``jobs`` fans occupied GPUs over the
         shared process pool each epoch, byte-identical to serial.
+        ``backend=None`` picks per epoch: squads smaller than
+        ``INPROC_GPU_THRESHOLD`` occupied GPUs serve in-process (the
+        pool's submit+pickle tax exceeds such epochs' work), larger
+        ones go to the pool; pass ``"inproc"``/``"pool"`` to force.
         """
         schedule = list(schedule)
         ids = [arrival.app_id for arrival in schedule]
@@ -332,6 +344,9 @@ class OnlineClusterController:
             )
             if not gpu_bindings:
                 continue
+            epoch_backend = resolve_backend(backend)
+            if epoch_backend == "auto" and len(gpu_bindings) < INPROC_GPU_THRESHOLD:
+                epoch_backend = "inproc"
             per_gpu = serve_gpus(
                 gpu_bindings,
                 self.system_factory,
@@ -339,6 +354,7 @@ class OnlineClusterController:
                 jobs=jobs,
                 tracer=self.tracer,
                 offset_us=offset,
+                backend=epoch_backend,
             )
             epoch_result = ServingResult.merge(
                 [per_gpu[index] for index, _ in gpu_bindings],

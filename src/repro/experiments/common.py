@@ -38,10 +38,12 @@ from ..metrics.stats import ServingResult
 # controller can reuse it without importing the experiments layer);
 # these re-exports keep the historical import surface working.
 from ..parallel import (  # noqa: F401  (re-exported API)
+    BACKENDS,
     CellExecutionError,
     ServeCell,
     _caller_experiment,
     _reset_pool,
+    resolve_backend,
     resolve_jobs,
     run_cells,
 )

@@ -23,7 +23,7 @@ SYNC kernels complete immediately when they reach the queue head.
 Hot-path design (see docs/performance.md)
 -----------------------------------------
 The event loop is the dominant cost of every figure reproduction, so
-the engine keeps three structural fast paths:
+the engine keeps structural fast paths:
 
 * **ready-set dispatch** — queues register themselves in a dirty set
   when a push, a completion, or a gap expiry makes their head
@@ -31,17 +31,32 @@ the engine keeps three structural fast paths:
   scanning every queue on every event;
 * **rebalance gating + memoization** — rates are a pure function of the
   *membership* of the running set (specs + contexts), so a rebalance is
-  skipped outright when membership did not change, and in the default
-  ``mode="vectorized"`` the allocation → slowdown → rate pipeline is
-  evaluated with numpy and memoized per membership signature.  The
-  original per-kernel path is kept behind ``mode="scalar"`` as the
-  byte-for-byte equivalence reference;
+  skipped outright when membership did not change, and the allocation →
+  slowdown → rate pipeline is memoized per membership signature (an
+  engine-local LRU, backed in batched mode by a process-wide table
+  keyed on portable value signatures, so serve N+1 reuses serve N's
+  rates).  The original per-kernel path is kept behind
+  ``mode="scalar"`` as the byte-for-byte equivalence reference;
+* **rate-change epochs** (``mode="batched"``, the default) — between
+  two rate-changing events (arrival, completion, squad switch, fault)
+  every running kernel advances at a constant rate, so the engine keeps
+  the next completion and the queue gap wake-ups as *pseudo-events*
+  compared against the heap top instead of heap entries that are
+  cancelled and re-pushed on every rebalance.  Remaining-work/ETA
+  updates collapse into one batched step per epoch — a numpy structured
+  array (``kernel, context, remaining, rate, eta``) once the running
+  set is wide enough, a fused scalar loop below that — with arithmetic
+  identical to the event-per-kernel modes;
+* **optional jit rebalance kernel** (``mode="jit"``) — the epoch engine
+  with the rebalance miss path compiled by numba when it is installed
+  (``pip install .[perf]``), falling back silently to the batched
+  engine (byte-identical to ``vectorized``) when it is not;
 * **lazy-cancel heap compaction** — cancelled events are dropped when
   popped, and when they outnumber half the heap it is rebuilt in place.
 
-``SimEngine.counters`` exposes the event/rebalance/compaction tallies;
-serving harnesses surface them in ``ServingResult.extras`` under
-``engine_*``.
+``SimEngine.counters`` exposes the event/rebalance/epoch/compaction
+tallies; serving harnesses surface them in ``ServingResult.extras``
+under ``engine_*`` and the results catalog ingests them per run.
 """
 
 from __future__ import annotations
@@ -71,7 +86,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 EventCallback = Callable[[], None]
 
-ENGINE_MODES = ("vectorized", "scalar", "legacy")
+ENGINE_MODES = ("batched", "jit", "vectorized", "scalar", "legacy")
 
 # Heap-compaction policy: rebuild when cancelled events outnumber live
 # ones and there are enough of them to be worth an O(n) sweep.
@@ -90,18 +105,71 @@ _REBALANCE_CACHE_TRACK = _REBALANCE_CACHE_SIZE // 2
 # it saves on 2-4 element sets, which dominate two-app serving.
 _VECTOR_MIN_ACTIVE = 8
 
+# Below this many running kernels the epoch advance/ETA step of the
+# batched engine uses a fused scalar loop; at or above it, the numpy
+# structured-array path (gather → one vector op → store-only scatter)
+# wins.  Same IEEE arithmetic on both sides.
+_EPOCH_VECTOR_MIN = 8
+
+# Structured per-kernel epoch state of the batched engine: between two
+# rate-changing events every running kernel advances at a constant
+# rate, so one record per kernel fully describes the epoch.
+EPOCH_DTYPE = np.dtype(
+    [
+        ("kernel", np.int64),     # kernel uid
+        ("context", np.int64),    # owning context id
+        ("remaining", np.float64),
+        ("rate", np.float64),
+        ("eta", np.float64),
+    ]
+)
+
+# Process-wide rebalance memo for the batched/jit engines: engines are
+# created per serve, so their signature-keyed L1 memos die with them
+# while the signature *space* (which app layers co-run) repeats across
+# the serves of a sweep.  Keyed on portable value signatures — context
+# slot/limit/priority/restriction plus the spec fields the pipeline
+# reads — so serve N+1 starts warm.  Values are immutable result
+# tuples computed by the exact same arithmetic, so sharing cannot
+# change results; the table is swept wholesale if it ever fills.
+_RATES_L2_SIZE = 65536
+_rates_l2: Dict[tuple, tuple] = {}
+
+
+def _load_jit_kernel():
+    """The numba-compiled rebalance kernel, or None when unavailable.
+
+    Import errors (numba absent) and compilation trouble both fall back
+    silently: ``mode="jit"`` then behaves exactly like ``batched``.
+    """
+    try:
+        from ._jit_rates import HAVE_NUMBA, rate_kernel
+    except Exception:  # pragma: no cover - defensive import guard
+        return None
+    return rate_kernel if HAVE_NUMBA else None
+
+
+def jit_available() -> bool:
+    """Whether ``mode="jit"`` will actually run the compiled kernel."""
+    return _load_jit_kernel() is not None
+
 
 def default_engine_mode() -> str:
     """The engine mode used when ``SimEngine(mode=None)``.
 
-    Controlled by ``REPRO_ENGINE_MODE`` (``vectorized`` | ``scalar`` |
-    ``legacy``) so test harnesses can flip every engine in a process
-    tree at once.  ``scalar`` keeps the structural fast paths but
-    evaluates rates per kernel; ``legacy`` additionally restores the
-    pre-overhaul full-queue scan and unconditional rebalance, as the
-    benchmark baseline.
+    Controlled by ``REPRO_ENGINE_MODE`` (``batched`` | ``jit`` |
+    ``vectorized`` | ``scalar`` | ``legacy``) so test harnesses can
+    flip every engine in a process tree at once.  ``batched`` (the
+    default) runs the rate-change-epoch event loop; ``jit`` adds the
+    numba-compiled rebalance kernel when numba is installed and falls
+    back to ``batched`` silently when it is not; ``vectorized`` keeps
+    the heap-driven loop with memoized numpy rebalances; ``scalar``
+    keeps the structural fast paths but evaluates rates per kernel;
+    ``legacy`` additionally restores the pre-overhaul full-queue scan
+    and unconditional rebalance, as the benchmark baseline.  All five
+    are byte-identical.
     """
-    mode = os.environ.get("REPRO_ENGINE_MODE", "vectorized")
+    mode = os.environ.get("REPRO_ENGINE_MODE", "batched")
     if mode not in ENGINE_MODES:
         raise ValueError(
             f"REPRO_ENGINE_MODE must be one of {ENGINE_MODES}, got {mode!r}"
@@ -168,8 +236,26 @@ class SimEngine:
         self.validate = validate
         # Decided once: every constituent is fixed at construction.
         self._fast_rates = (
-            mode == "vectorized" and not validate and self.hwsched.policy == "fair"
+            mode in ("vectorized", "batched", "jit")
+            and not validate
+            and self.hwsched.policy == "fair"
         )
+        # The epoch-batched event loop needs the memoized fair-policy
+        # rebalance; with validate or a non-fair policy the engine
+        # demotes itself to the (byte-identical) heap-driven loop.
+        self._batched = mode in ("batched", "jit") and self._fast_rates
+        # mode="jit": numba-compiled rebalance miss path when numba is
+        # importable, silent fallback to the batched engine otherwise.
+        self._jit_kernel = _load_jit_kernel() if mode == "jit" else None
+        self._compute_rates = (
+            self._compute_rates_jit
+            if self._jit_kernel is not None
+            else self._compute_rates_vectorized
+        )
+        # Namespace of the process-wide rate memo: jit-computed entries
+        # never mix with interpreter-computed ones, so the 5-way
+        # equivalence tests exercise the compiled kernel for real.
+        self._l2_family = "jit" if self._jit_kernel is not None else "std"
         self.pcie = PCIeChannel()
         self.now = 0.0
         self._heap: List[Tuple[float, int, _Event]] = []
@@ -201,6 +287,25 @@ class SimEngine:
         # completion event) are still exact.
         self._running_dirty = False
         self._completion_event: Optional[_Event] = None
+        # Batched-mode pseudo-events: the next completion and the queue
+        # gap wake-ups live outside the heap as (time, seq) pairs the
+        # main loop compares against the heap top.  Seqs come from the
+        # same counter as heap events, at the same points the
+        # heap-driven loop would schedule them, so tie-breaking at
+        # equal times is identical across modes.
+        self._completion_time = math.inf
+        self._completion_seq = 0
+        # queue id -> (requested ready_at, scheduled time, seq, queue)
+        self._gap_wakes: Dict[int, Tuple[float, float, int, DeviceQueue]] = {}
+        self._gap_min_time = math.inf
+        self._gap_min_seq = 0
+        self._gap_min_qid = -1
+        # Reusable structured-array epoch state (allocated on demand).
+        self._epoch_arr: Optional[np.ndarray] = None
+        # packed (context, spec-token) int -> portable signature tail;
+        # safe to memoise because contexts never mutate their limit or
+        # priority in place and specs are frozen.
+        self._portable_tails: Dict[int, tuple] = {}
         self._finish_subscribers: List[Callable[[KernelInstance], None]] = []
         self._failure_subscribers: List[Callable[[KernelInstance], None]] = []
         self._per_kernel_callbacks: Dict[int, Callable[[KernelInstance], None]] = {}
@@ -233,9 +338,22 @@ class SimEngine:
         self._rebalances = 0
         self._rebalances_skipped = 0
         self._rebalance_cache_hits = 0
+        self._rebalance_l2_hits = 0
         self._heap_compactions = 0
         self._peak_heap_size = 0
         self._gap_events_superseded = 0
+        # Epoch-batched advance tallies (batched/jit modes).
+        self._epoch_batches = 0
+        self._epoch_kernels_advanced = 0
+        self._epoch_max_batch = 0
+        if self._batched:
+            # Route the shared entry points (launch visibility, fault
+            # teardown, retries) into the epoch-batched loop without a
+            # mode branch on every hot call.
+            self._dispatch = self._dispatch_batched
+            self._maybe_rebalance = self._maybe_rebalance_batched
+            self._rebalance = self._rebalance_batched
+            self._ensure_gap_event = self._ensure_gap_wake
 
     # ------------------------------------------------------------------
     # Queue / context management
@@ -834,6 +952,487 @@ class SimEngine:
 
         return tuple(fractions), tuple(rates), min(1.0, busy)
 
+    # -- jit (numba) path ----------------------------------------------
+    def _compute_rates_jit(
+        self,
+    ) -> Tuple[Tuple[float, ...], Tuple[float, ...], float]:
+        """The rebalance miss path through the numba-compiled kernel.
+
+        Packs the running set into flat arrays and calls the compiled
+        ``rate_kernel`` (see ``_jit_rates.py``), whose arithmetic
+        mirrors ``_compute_rates_vectorized`` operation for operation.
+        Only reached when numba imported successfully.
+        """
+        running = self._running_compute
+        contexts = self._running_ctx
+        n = len(running)
+        if n == 0:
+            return (), (), 0.0
+        demand = np.empty(n, dtype=np.float64)
+        mem = np.empty(n, dtype=np.float64)
+        serial = np.empty(n, dtype=np.float64)
+        base = np.empty(n, dtype=np.float64)
+        limit = np.empty(n, dtype=np.float64)
+        priority = np.empty(n, dtype=np.int64)
+        cid = np.empty(n, dtype=np.int64)
+        restricted = np.empty(n, dtype=np.bool_)
+        for i in range(n):
+            spec = running[i].spec
+            ctx = contexts[i]
+            demand[i] = spec.sm_demand
+            mem[i] = spec.mem_intensity
+            serial[i] = spec.serial_fraction
+            base[i] = spec.base_duration_us
+            limit[i] = ctx.sm_limit
+            priority[i] = ctx.priority
+            cid[i] = ctx.context_id
+            restricted[i] = ctx.restricted
+        model = self.interference
+        fractions, rates, busy = self._jit_kernel(
+            demand,
+            mem,
+            serial,
+            base,
+            limit,
+            priority,
+            cid,
+            restricted,
+            model.kappa_unrestricted,
+            model.kappa_restricted,
+            model.gamma,
+            model.max_slowdown,
+        )
+        return tuple(fractions.tolist()), tuple(rates.tolist()), float(busy)
+
+    # -- epoch-batched (heapless completion/gap) path ------------------
+    def _portable_signature(self) -> tuple:
+        """Value-based key of the running set for the process-wide memo.
+
+        Unlike ``_sig_parts`` — which packs engine-local context ids
+        and spec tokens, both minted per serve — this key survives the
+        engine: per kernel the context *slot* (first-appearance order,
+        which is all the allocation reads of identity), the context's
+        limit/priority/restriction, and the four spec fields the
+        allocation → slowdown → rate pipeline reads.  Together with the
+        interference model they pin the result exactly.
+        """
+        slots: Dict[int, int] = {}
+        parts = []
+        tails = self._portable_tails
+        for packed, kernel, ctx in zip(
+            self._sig_parts, self._running_compute, self._running_ctx
+        ):
+            cid = ctx.context_id
+            slot = slots.get(cid)
+            if slot is None:
+                slot = len(slots)
+                slots[cid] = slot
+            # The packed (context, spec-token) int pins the whole tail:
+            # contexts never mutate limit/priority in place and specs
+            # are frozen, so the value tuple is safe to memoise.
+            tail = tails.get(packed)
+            if tail is None:
+                spec = kernel.spec
+                tail = (
+                    ctx.sm_limit,
+                    ctx.priority,
+                    ctx.restricted,
+                    spec.sm_demand,
+                    spec.mem_intensity,
+                    spec.serial_fraction,
+                    spec.base_duration_us,
+                )
+                tails[packed] = tail
+            parts.append((slot,) + tail)
+        return (self._l2_family, self.interference, tuple(parts))
+
+    def _epoch_view(self, n: int) -> np.ndarray:
+        """First ``n`` records of the reusable epoch array (grown 2x)."""
+        arr = self._epoch_arr
+        if arr is None or arr.shape[0] < n:
+            capacity = 16
+            while capacity < n:
+                capacity *= 2
+            arr = np.zeros(capacity, dtype=EPOCH_DTYPE)
+            self._epoch_arr = arr
+        return arr[:n]
+
+    def _ensure_gap_wake(self, queue: DeviceQueue, ready_at: float) -> None:
+        """Batched-mode :meth:`_ensure_gap_event`: a dict entry, no heap.
+
+        Same supersede semantics — an earlier-or-equal pending wake is
+        reused, a later one is replaced — with the scheduled time
+        computed by the same ``now + max(0, ready_at - now)`` arithmetic
+        ``schedule_at`` applies, so wake instants stay bit-identical.
+        """
+        qid = queue.queue_id
+        wakes = self._gap_wakes
+        pending = wakes.get(qid)
+        if pending is not None:
+            if pending[0] <= ready_at + 1e-9:
+                return
+            self._gap_events_superseded += 1
+        now = self.now
+        delay = ready_at - now
+        if delay < 0.0:
+            delay = 0.0
+        time = now + delay
+        seq = next(self._event_seq)
+        wakes[qid] = (ready_at, time, seq, queue)
+        if pending is not None and qid == self._gap_min_qid:
+            self._recompute_gap_min()
+        elif time < self._gap_min_time or (
+            time == self._gap_min_time and seq < self._gap_min_seq
+        ):
+            self._gap_min_time = time
+            self._gap_min_seq = seq
+            self._gap_min_qid = qid
+
+    def _recompute_gap_min(self) -> None:
+        best_time = math.inf
+        best_seq = 0
+        best_qid = -1
+        for qid, entry in self._gap_wakes.items():
+            time = entry[1]
+            seq = entry[2]
+            if time < best_time or (time == best_time and seq < best_seq):
+                best_time = time
+                best_seq = seq
+                best_qid = qid
+        self._gap_min_time = best_time
+        self._gap_min_seq = best_seq
+        self._gap_min_qid = best_qid
+
+    def _discard_gap_wake(self, queue_id: int) -> None:
+        """Drop a queue's pending wake (context teardown paths)."""
+        if self._gap_wakes.pop(queue_id, None) is not None:
+            if queue_id == self._gap_min_qid:
+                self._recompute_gap_min()
+
+    def _fire_gap_wake(self) -> None:
+        """Process the earliest gap wake (clock already advanced)."""
+        entry = self._gap_wakes.pop(self._gap_min_qid)
+        self._recompute_gap_min()
+        queue = entry[3]
+        self._dirty_queues[queue.queue_id] = queue
+        self._dispatch_batched()
+
+    def _dispatch_batched(self) -> None:
+        """:meth:`_dispatch` with gap wakes as pseudo-events and the
+        epoch rebalance at the tail (batched/jit modes only)."""
+        started = False
+        progressing = False
+        dirty = self._dirty_queues
+        faults = self._faults
+        now = self.now
+        horizon = now + 1e-9
+        while dirty:
+            # Creation order mirrors the historical full-scan order.
+            if len(dirty) == 1:
+                batch = (dirty.popitem()[1],)
+            else:
+                batch = [dirty.pop(qid) for qid in sorted(dirty)]
+            for queue in batch:
+                pending = queue._pending
+                if queue._running is not None or not pending:
+                    continue
+                head = pending[0]
+                spec = head.spec
+                last_finish = queue.last_finish_time
+                if last_finish != _NEVER_FINISHED:
+                    ready_at = last_finish + spec.dispatch_gap_us
+                    if ready_at > horizon:
+                        self._ensure_gap_wake(queue, ready_at)
+                        continue
+                pending.popleft()
+                head.start_time = now
+                queue._running = head
+                context = queue.context
+                head.traced_context_id = context.context_id
+                head.traced_context_limit = context.sm_limit
+                kind = spec.kind
+                if kind is KernelKind.SYNC or spec.base_duration_us == 0:
+                    self._complete_kernel(queue, head)
+                    progressing = True
+                else:
+                    if faults is not None:
+                        multiplier = faults.work_multiplier(head)
+                        if multiplier != 1.0:
+                            head.remaining_work = spec.base_duration_us * multiplier
+                    if kind is KernelKind.COMPUTE:
+                        self._add_running(head, context)
+                    else:
+                        self._running_memcpy.append(head)
+                        self._running_dirty = True
+                    started = True
+        if started or progressing:
+            if self._running_dirty or self.record_timeline:
+                self._rebalance_batched()
+            else:
+                self._rebalances_skipped += 1
+                if self._completion_time == math.inf and (
+                    self._running_compute or self._running_memcpy
+                ):
+                    self._accrue_busy_time()
+                    self._rearm_completion()
+
+    def _maybe_rebalance_batched(self) -> None:
+        if self._running_dirty or self.record_timeline:
+            self._rebalance_batched()
+            return
+        self._rebalances_skipped += 1
+        if self._completion_time == math.inf and (
+            self._running_compute or self._running_memcpy
+        ):
+            self._accrue_busy_time()
+            self._rearm_completion()
+
+    def _rebalance_batched(self) -> None:
+        """:meth:`_rebalance`'s fast branch with the completion kept as
+        a pseudo-event: arming it is two stores and a seq draw instead
+        of a heap cancel + push.  The rebalance memo adds a process-wide
+        second level (portable value signatures) so the engines of later
+        serves in a sweep start warm."""
+        self._rebalances += 1
+        if self.now > self._busy_since:
+            self._accrue_busy_time()
+
+        running = self._running_compute
+        if not running and not self._running_memcpy:
+            # Idle GPU (solo-queue engines park here between a kernel's
+            # completion and its successor's gap wake): nothing to rate,
+            # no completion to arm.  Skipping the memo probe here means
+            # the empty set never counts as a "cache hit" — acceptable,
+            # since machinery counters are per-mode diagnostics, not
+            # part of the cross-mode identity contract.
+            self._current_busy_fraction = 0.0
+            self._running_dirty = False
+            if self.record_timeline:
+                self._record_segment_start()
+            self._completion_time = math.inf
+            return
+
+        key = tuple(self._sig_parts)
+        cache = self._rebalance_cache
+        cached = cache.get(key)
+        if cached is not None:
+            self._rebalance_cache_hits += 1
+            if len(cache) >= _REBALANCE_CACHE_TRACK:
+                cache.move_to_end(key)
+        else:
+            l2 = _rates_l2
+            portable = self._portable_signature()
+            cached = l2.get(portable)
+            if cached is None:
+                cached = self._compute_rates()
+                if len(l2) >= _RATES_L2_SIZE:
+                    l2.clear()
+                l2[portable] = cached
+            else:
+                self._rebalance_l2_hits += 1
+            cache[key] = cached
+            if len(cache) > _REBALANCE_CACHE_SIZE:
+                cache.popitem(last=False)
+        fractions, rates, busy = cached
+
+        now = self.now
+        eta = math.inf
+        running = self._running_compute
+        n = len(running)
+        if n >= _EPOCH_VECTOR_MIN:
+            # Structured-array epoch refresh: one vectorized ETA step,
+            # store-only python loops for the kernel attributes.
+            arr = self._epoch_view(n)
+            arr["kernel"][:] = [k.uid for k in running]
+            arr["context"][:] = [c.context_id for c in self._running_ctx]
+            rem = arr["remaining"]
+            rate_col = arr["rate"]
+            eta_col = arr["eta"]
+            rem[:] = [k.remaining_work for k in running]
+            rate_col[:] = rates
+            positive = rate_col > 0.0
+            div = np.divide(
+                rem, rate_col, out=np.full(n, np.inf), where=positive
+            )
+            np.add(div, now, out=eta_col)
+            eta_min = eta_col.min()
+            if eta_min != np.inf:
+                eta = float(eta_min)
+            for kernel, sm, rate in zip(running, fractions, rates):
+                kernel.current_sm_fraction = sm
+                kernel.current_rate = rate
+        else:
+            for kernel, sm, rate in zip(running, fractions, rates):
+                kernel.current_sm_fraction = sm
+                kernel.current_rate = rate
+                if rate > 0:
+                    finish = now + kernel.remaining_work / rate
+                    if finish < eta:
+                        eta = finish
+        self._current_busy_fraction = busy
+
+        if self._running_memcpy:
+            pcie_rates = self.pcie.rates(self._running_memcpy)
+            for kernel in self._running_memcpy:
+                rate = pcie_rates.get(kernel.uid, 0.0)
+                kernel.current_rate = rate
+                kernel.current_sm_fraction = 0.0
+                if rate > 0:
+                    finish = now + kernel.remaining_work / rate
+                    if finish < eta:
+                        eta = finish
+
+        self._running_dirty = False
+        if self.record_timeline:
+            self._record_segment_start()
+        if eta != math.inf:
+            # schedule_at's arithmetic, without the event or the heap.
+            delay = eta - now
+            if delay < 0.0:
+                delay = 0.0
+            self._completion_time = now + delay
+            self._completion_seq = next(self._event_seq)
+        else:
+            self._completion_time = math.inf
+
+    def _rearm_completion(self) -> None:
+        """Batched :meth:`_schedule_next_completion` (epsilon-miss re-arm)."""
+        best_time = math.inf
+        now = self.now
+        for kernel in self._running_compute:
+            rate = kernel.current_rate
+            if rate <= 0:
+                continue
+            eta = now + kernel.remaining_work / rate
+            if eta < best_time:
+                best_time = eta
+        for kernel in self._running_memcpy:
+            rate = kernel.current_rate
+            if rate <= 0:
+                continue
+            eta = now + kernel.remaining_work / rate
+            if eta < best_time:
+                best_time = eta
+        if math.isfinite(best_time):
+            delay = best_time - now
+            if delay < 0.0:
+                delay = 0.0
+            self._completion_time = now + delay
+            self._completion_seq = next(self._event_seq)
+        else:
+            self._completion_time = math.inf
+
+    def _tick_batched(self) -> None:
+        """Completion pseudo-event: one fused epoch step.
+
+        Advances every running kernel by the epoch (``_accrue_busy_time``
+        and the finish sweep of ``_on_completion_tick`` fused into one
+        pass — scalar below ``_EPOCH_VECTOR_MIN`` kernels, a structured-
+        array step at or above it), completes what drained, re-dispatches
+        and re-rates.  Arithmetic and sweep order match the heap-driven
+        tick exactly.
+        """
+        self._completion_time = math.inf
+        now = self.now
+        dt = now - self._busy_since
+        time_eps = 4.0 * math.ulp(now)
+        if time_eps < 1e-9:
+            time_eps = 1e-9
+        running_compute = self._running_compute
+        memcpy = self._running_memcpy
+        finished_compute = []
+        finished_memcpy = []
+        if dt > 0:
+            n = len(running_compute)
+            advanced = n + len(memcpy)
+            self._epoch_batches += 1
+            self._epoch_kernels_advanced += advanced
+            if advanced > self._epoch_max_batch:
+                self._epoch_max_batch = advanced
+            if n >= _EPOCH_VECTOR_MIN:
+                arr = self._epoch_view(n)
+                rem = arr["remaining"]
+                rate_col = arr["rate"]
+                rate_col[:] = [k.current_rate for k in running_compute]
+                rem[:] = [k.remaining_work for k in running_compute]
+                left = rem - rate_col * dt
+                left[left <= 0.0] = 0.0
+                threshold = rate_col * time_eps
+                np.maximum(threshold, 1e-9, out=threshold)
+                done = left <= threshold
+                rem[:] = left
+                for kernel, value in zip(running_compute, left.tolist()):
+                    kernel.remaining_work = value
+                if done.any():
+                    finished_compute = [
+                        running_compute[i] for i in np.nonzero(done)[0].tolist()
+                    ]
+            else:
+                for k in running_compute:
+                    rate = k.current_rate
+                    left = k.remaining_work - rate * dt
+                    if left <= 0.0:
+                        k.remaining_work = 0.0
+                        finished_compute.append(k)
+                    else:
+                        k.remaining_work = left
+                        threshold = rate * time_eps
+                        if left <= (threshold if threshold > 1e-9 else 1e-9):
+                            finished_compute.append(k)
+            for k in memcpy:
+                rate = k.current_rate
+                left = k.remaining_work - rate * dt
+                if left <= 0.0:
+                    k.remaining_work = 0.0
+                    finished_memcpy.append(k)
+                else:
+                    k.remaining_work = left
+                    threshold = rate * time_eps
+                    if left <= (threshold if threshold > 1e-9 else 1e-9):
+                        finished_memcpy.append(k)
+            self._busy_integral += self._current_busy_fraction * dt
+            if self.record_timeline:
+                self._record_segment_end()
+            self._busy_since = now
+        else:
+            for k in running_compute:
+                threshold = k.current_rate * time_eps
+                if k.remaining_work <= (threshold if threshold > 1e-9 else 1e-9):
+                    finished_compute.append(k)
+            for k in memcpy:
+                threshold = k.current_rate * time_eps
+                if k.remaining_work <= (threshold if threshold > 1e-9 else 1e-9):
+                    finished_memcpy.append(k)
+        for kernel in finished_compute:
+            try:
+                index = running_compute.index(kernel)
+            except ValueError:
+                # Removed by a fault handler (kill/shed) earlier in this
+                # same sweep — nothing left to complete.
+                continue
+            del running_compute[index]
+            del self._running_ctx[index]
+            del self._sig_parts[index]
+            self._running_dirty = True
+            self._complete_kernel(self._queue_of[kernel.uid], kernel)
+        for kernel in finished_memcpy:
+            try:
+                memcpy.remove(kernel)
+            except ValueError:
+                continue
+            self._running_dirty = True
+            self._complete_kernel(self._queue_of[kernel.uid], kernel)
+        self._dispatch_batched()
+        if self._running_dirty or self.record_timeline:
+            self._rebalance_batched()
+        else:
+            self._rebalances_skipped += 1
+            if self._completion_time == math.inf and (
+                self._running_compute or self._running_memcpy
+            ):
+                self._accrue_busy_time()
+                self._rearm_completion()
+
     def _check_invariants(self, allocations) -> None:
         """Debug-mode physical invariants (``validate=True``).
 
@@ -1149,6 +1748,7 @@ class SimEngine:
             gap = self._gap_events.pop(queue.queue_id, None)
             if gap is not None:
                 self.cancel(gap[1])
+            self._discard_gap_wake(queue.queue_id)
         self._queues = survivors
         if removed_running:
             self._maybe_rebalance()
@@ -1173,6 +1773,7 @@ class SimEngine:
         gap = self._gap_events.pop(queue.queue_id, None)
         if gap is not None:
             self.cancel(gap[1])
+        self._discard_gap_wake(queue.queue_id)
 
     # ------------------------------------------------------------------
     # Utilization accounting
@@ -1242,7 +1843,14 @@ class SimEngine:
             "events_processed": self._events_processed,
             "rebalances": self._rebalances,
             "rebalances_skipped": self._rebalances_skipped,
+            # _rebalance_l2_hits is deliberately absent: the L2 memo is
+            # process-global, so its hit count depends on what ran
+            # earlier in the process (run topology), and results must
+            # fingerprint identically under serial and parallel serves.
             "rebalance_cache_hits": self._rebalance_cache_hits,
+            "epoch_batches": self._epoch_batches,
+            "epoch_kernels_advanced": self._epoch_kernels_advanced,
+            "epoch_max_batch": self._epoch_max_batch,
             "heap_compactions": self._heap_compactions,
             "peak_heap_size": self._peak_heap_size,
             "gap_events_superseded": self._gap_events_superseded,
@@ -1268,6 +1876,8 @@ class SimEngine:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process the next event; returns False when nothing is left."""
+        if self._batched:
+            return self._step_batched()
         heap = self._heap
         while heap:
             time, _, event = heapq.heappop(heap)
@@ -1284,8 +1894,55 @@ class SimEngine:
             return True
         return False
 
+    def _step_batched(self) -> bool:
+        """One event across the three batched sources (heap / completion
+        pseudo-event / gap-wake pseudo-events), earliest ``(time, seq)``
+        first."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        if heap:
+            head = heap[0]
+            best_time = head[0]
+            best_seq = head[1]
+            source = 0
+        else:
+            best_time = math.inf
+            best_seq = 0
+            source = -1
+        time = self._completion_time
+        if time < best_time or (
+            time == best_time and self._completion_seq < best_seq
+        ):
+            best_time = time
+            best_seq = self._completion_seq
+            source = 1
+        time = self._gap_min_time
+        if time < best_time or (time == best_time and self._gap_min_seq < best_seq):
+            best_time = time
+            source = 2
+        if source < 0 or best_time == math.inf:
+            return False
+        now = self.now
+        if best_time < now - 1e-9:
+            raise RuntimeError("event in the past — engine invariant broken")
+        if best_time > now:
+            self.now = best_time
+        self._events_processed += 1
+        if source == 0:
+            event = heapq.heappop(heap)[2]
+            event.callback()
+        elif source == 1:
+            self._tick_batched()
+        else:
+            self._fire_gap_wake()
+        return True
+
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until the event queue drains (or ``until`` is reached)."""
+        if self._batched:
+            return self._run_batched(until, max_events)
         events = 0
         if until is None:
             # Unbounded run: no per-event peek at the heap top.
@@ -1303,6 +1960,80 @@ class SimEngine:
                 return self.now
             if not self.step():
                 break
+            events += 1
+            if events >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+        self._accrue_busy_time()
+        return self.now
+
+    def _run_batched(
+        self, until: Optional[float], max_events: int
+    ) -> float:
+        """Batched main loop: the heap plus two out-of-heap pseudo-event
+        sources, merged by ``(time, seq)``.
+
+        The ``until`` gate mirrors the heap loop's observable quirk of
+        peeking the *raw* earliest pending time (cancelled heap entries
+        included) before deciding whether to stop.
+        """
+        heap = self._heap
+        events = 0
+        while True:
+            if until is not None:
+                # Gate on the *raw* earliest pending time — cancelled
+                # heap entries included — before lazily skipping them,
+                # exactly like the heap loop's peek-then-step order.
+                raw = heap[0][0] if heap else math.inf
+                if self._completion_time < raw:
+                    raw = self._completion_time
+                if self._gap_min_time < raw:
+                    raw = self._gap_min_time
+                if raw == math.inf:
+                    break
+                if raw > until:
+                    self._accrue_busy_time_at(until)
+                    self.now = until
+                    return self.now
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
+            if heap:
+                head = heap[0]
+                best_time = head[0]
+                best_seq = head[1]
+                source = 0
+            else:
+                best_time = math.inf
+                best_seq = 0
+                source = -1
+            time = self._completion_time
+            if time < best_time or (
+                time == best_time and self._completion_seq < best_seq
+            ):
+                best_time = time
+                best_seq = self._completion_seq
+                source = 1
+            time = self._gap_min_time
+            if time < best_time or (
+                time == best_time and self._gap_min_seq < best_seq
+            ):
+                best_time = time
+                source = 2
+            if source < 0 or best_time == math.inf:
+                break
+            now = self.now
+            if best_time < now - 1e-9:
+                raise RuntimeError("event in the past — engine invariant broken")
+            if best_time > now:
+                self.now = best_time
+            self._events_processed += 1
+            if source == 0:
+                event = heapq.heappop(heap)[2]
+                event.callback()
+            elif source == 1:
+                self._tick_batched()
+            else:
+                self._fire_gap_wake()
             events += 1
             if events >= max_events:
                 raise RuntimeError(f"simulation exceeded {max_events} events")

@@ -29,6 +29,15 @@ from .context import GPUContext
 from .kernel import KernelInstance
 from .stream import DeviceQueue
 
+#: Water-fill tolerances, shared by every allocation path: a residual
+#: capacity at or below ``CAPACITY_EPS`` counts as exhausted, and a
+#: demand within ``SATISFIED_EPS`` of its fair share counts as
+#: satisfied.  ``repro.gpusim._jit_rates`` compiles these same values
+#: into its numba water-fill (numba freezes globals at compile time),
+#: so the interpreted and jitted allocations stay bit-identical.
+CAPACITY_EPS = 1e-12
+SATISFIED_EPS = 1e-15
+
 
 @dataclass(frozen=True)
 class Allocation:
@@ -46,9 +55,9 @@ def waterfill(demands: Sequence[float], capacity: float) -> List[float]:
     alloc = [0.0] * n
     remaining = capacity
     active = list(range(n))
-    while active and remaining > 1e-12:
+    while active and remaining > CAPACITY_EPS:
         share = remaining / len(active)
-        satisfied = [i for i in active if demands[i] - alloc[i] <= share + 1e-15]
+        satisfied = [i for i in active if demands[i] - alloc[i] <= share + SATISFIED_EPS]
         if satisfied:
             done = set(satisfied)
             for i in satisfied:
@@ -74,28 +83,28 @@ def _waterfill_small(demands: Sequence[float], capacity: float) -> List[float]:
     """
     n = len(demands)
     if n == 1:
-        if capacity <= 1e-12:
+        if capacity <= CAPACITY_EPS:
             return [0.0]
         demand = demands[0]
-        return [demand] if demand <= capacity + 1e-15 else [capacity]
+        return [demand] if demand <= capacity + SATISFIED_EPS else [capacity]
     if n == 2:
-        if capacity <= 1e-12:
+        if capacity <= CAPACITY_EPS:
             return [0.0, 0.0]
         d0 = demands[0]
         d1 = demands[1]
         share = capacity / 2
-        bar = share + 1e-15
+        bar = share + SATISFIED_EPS
         if d0 <= bar:
             if d1 <= bar:
                 return [d0, d1]
             remaining = capacity - d0
-            if remaining > 1e-12:
-                return [d0, d1] if d1 <= remaining + 1e-15 else [d0, remaining]
+            if remaining > CAPACITY_EPS:
+                return [d0, d1] if d1 <= remaining + SATISFIED_EPS else [d0, remaining]
             return [d0, 0.0]
         if d1 <= bar:
             remaining = capacity - d1
-            if remaining > 1e-12:
-                return [d0, d1] if d0 <= remaining + 1e-15 else [remaining, d1]
+            if remaining > CAPACITY_EPS:
+                return [d0, d1] if d0 <= remaining + SATISFIED_EPS else [remaining, d1]
             return [0.0, d1]
         return [share, share]
     return waterfill(demands, capacity)
@@ -175,13 +184,13 @@ class HardwareScheduler:
             # to clamping its demand by the context limit and the GPU
             # (grant expressions mirror the general path bit for bit).
             cap = contexts[0].sm_limit
-            if cap <= 1e-12:
+            if cap <= CAPACITY_EPS:
                 return [(0, 0.0)]
             demand = running[0].spec.sm_demand
-            want = demand if demand <= cap + 1e-15 else cap
+            want = demand if demand <= cap + SATISFIED_EPS else cap
             if want <= 0.0:
                 return [(0, 0.0)]
-            if want <= 1.0 + 1e-15:
+            if want <= 1.0 + SATISFIED_EPS:
                 return [(0, want)]
             return [(0, want * (1.0 / want))]
         if n <= 6:
@@ -203,11 +212,11 @@ class HardwareScheduler:
                 wants: List[float] = []
                 for index, ctx in enumerate(contexts):
                     cap = ctx.sm_limit
-                    if cap <= 1e-12:
+                    if cap <= CAPACITY_EPS:
                         wants.append(0.0)
                     else:
                         demand = running[index].spec.sm_demand
-                        wants.append(demand if demand <= cap + 1e-15 else cap)
+                        wants.append(demand if demand <= cap + SATISFIED_EPS else cap)
                 fills = _waterfill_small(wants, 1.0)
                 pairs = []
                 for index, (want, fill) in enumerate(zip(wants, fills)):

@@ -23,6 +23,15 @@ re-exports every public name, so existing imports keep working.
 cluster controller): ``None`` falls back to the ``REPRO_JOBS``
 environment variable and then to 1 (serial); ``0`` or a negative count
 means "use every core".
+
+``backend`` selects *how* a multi-cell grid executes once ``jobs``
+says it may parallelise: ``"pool"`` is the process pool, ``"inproc"``
+runs every cell in this process (no fork, no pickle — the right call
+when the grid is smaller than the pool tax), and ``"auto"`` (the
+default, also via ``REPRO_BACKEND``) keeps the historical rule: pool
+whenever ``jobs > 1`` and there is more than one cell.  Results are
+byte-identical across all three — cells rebuild their workloads from
+their own seeds wherever they run.
 """
 
 from __future__ import annotations
@@ -54,6 +63,26 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+BACKENDS = ("auto", "inproc", "pool")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Execution-backend policy: ``None`` → ``REPRO_BACKEND`` → auto.
+
+    ``"inproc"`` runs every cell in the calling process (no fork, no
+    pickle round-trip), ``"pool"`` uses the shared process pool, and
+    ``"auto"`` defers to the historical jobs/cell-count rule.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND", "").strip() or "auto"
+    backend = backend.lower()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -174,13 +203,17 @@ def run_cells(
     cells: Iterable[ServeCell],
     jobs: Optional[int] = None,
     experiment: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> List[ServingResult]:
     """Execute every cell; results align with the input order.
 
     With ``jobs > 1`` cells run across a process pool; per-cell futures
     are collected in submission order, and each cell reconstructs its
     own workload from scratch inside the worker, so the output is
-    byte-identical to the serial path.
+    byte-identical to the serial path.  ``backend="inproc"`` keeps the
+    whole grid in this process regardless of ``jobs`` — the fast path
+    when the grid is small enough that pool submit+pickle would
+    dominate — while ``"pool"``/``"auto"`` follow the jobs rule.
 
     A failing cell raises :class:`CellExecutionError` naming its grid
     coordinates.  Before giving up, the failed cell is re-run serially
@@ -198,9 +231,10 @@ def run_cells(
     if experiment is None:
         experiment = _caller_experiment(2)
     jobs = resolve_jobs(jobs)
+    backend = resolve_backend(backend)
     outcomes: List[Tuple[ServingResult, float]]
     broken = False
-    if jobs <= 1 or len(cells) <= 1:
+    if backend == "inproc" or jobs <= 1 or len(cells) <= 1:
         outcomes = [_execute_serial(cell) for cell in cells]
     else:
         pool = _get_pool(min(jobs, len(cells)))

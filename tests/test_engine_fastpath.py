@@ -7,10 +7,12 @@ bounded timeline ring buffer, and the surfaced engine counters.
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.gpusim.context import ContextRegistry
 from repro.gpusim.device import GPUDevice, GPUSpec
 from repro.gpusim.engine import ENGINE_MODES, SimEngine, default_engine_mode
+from repro.gpusim.faults import FaultInjector, FaultPlan
 from repro.gpusim.kernel import KernelInstance, KernelSpec
 
 
@@ -75,10 +77,126 @@ class TestEngineModes:
 
     def test_modes_bit_identical(self):
         reference, ref_now = run_mixed_workload("legacy")
-        for mode in ("scalar", "vectorized"):
+        for mode in ("scalar", "vectorized", "batched", "jit"):
             finished, now = run_mixed_workload(mode)
             assert finished == reference, f"mode {mode} diverged"
             assert now == ref_now
+
+    def test_jit_mode_never_fails_without_numba(self):
+        # mode="jit" silently falls back to the interpreted batched
+        # path when numba is absent — constructing the engine must not
+        # raise either way.
+        engine, _ = make_engine(mode="jit")
+        assert engine.mode == "jit"
+
+
+def run_faulty_switching_workload(
+    mode, kernel_params, failure_rate, fault_seed, switch_at, second_wave
+):
+    """Random workload with a fault plan and a mid-run squad switch.
+
+    Two contexts run the generated kernels; a scheduled action at
+    ``switch_at`` tears the first context down (the squad-switch
+    analogue of a REEF-style preemption) and launches a second wave on
+    the survivor — scheduled, like the harness's squad switches, so the
+    whole history is one deterministic event sequence.  Returns every
+    observable the modes must agree on byte for byte.
+    """
+    plan = FaultPlan(
+        seed=fault_seed, kernel_failure_rate=failure_rate, max_retries=2
+    )
+    engine = SimEngine(
+        device=GPUDevice(GPUSpec()),
+        mode=mode,
+        fault_injector=FaultInjector(plan),
+    )
+    registry = ContextRegistry(engine.device)
+    contexts = [
+        registry.create(f"app{i}", 0.5, charge_memory=False) for i in range(2)
+    ]
+    queues = [engine.create_queue(ctx) for ctx in contexts]
+    finished = []
+    for qi, queue in enumerate(queues):
+        kernels = [
+            KernelInstance(
+                compute(
+                    name=f"q{qi}k{ki}",
+                    dur=dur,
+                    demand=demand,
+                    mem=mem,
+                    gap=gap,
+                ),
+                app_id=f"app{qi}",
+                request_id=qi,
+                seq=ki,
+            )
+            for ki, (dur, demand, mem, gap) in enumerate(kernel_params)
+        ]
+        engine.launch_batch(
+            kernels,
+            queue,
+            callbacks=[
+                (lambda k: finished.append((k.name, k.failed, engine.now)))
+                for _ in kernels
+            ],
+        )
+    killed = []
+
+    def squad_switch():
+        killed.extend(k.name for k, _ in engine.kill_context(contexts[0]))
+        for ki, (dur, demand, mem, gap) in enumerate(second_wave):
+            engine.launch(
+                KernelInstance(
+                    compute(
+                        name=f"w2k{ki}", dur=dur, demand=demand, mem=mem, gap=gap
+                    ),
+                    app_id="app1",
+                    request_id=2,
+                    seq=ki,
+                ),
+                queues[1],
+                on_finish=lambda k: finished.append((k.name, k.failed, engine.now)),
+            )
+
+    engine.schedule(switch_at, squad_switch)
+    engine.run()
+    return (
+        finished,
+        killed,
+        engine.now,
+        engine.kernels_completed,
+        engine.kernels_failed,
+        engine.kernels_retried,
+        engine.kernels_killed,
+    )
+
+
+kernel_param = st.tuples(
+    st.floats(min_value=1.0, max_value=200.0, allow_nan=False),  # duration
+    st.floats(min_value=0.05, max_value=1.0, allow_nan=False),  # sm demand
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),  # mem intensity
+    st.sampled_from([0.0, 1.5, 4.0]),  # dispatch gap
+)
+
+
+class TestEpochBatchingProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kernel_params=st.lists(kernel_param, min_size=1, max_size=5),
+        failure_rate=st.sampled_from([0.0, 0.2, 0.6]),
+        fault_seed=st.integers(min_value=0, max_value=2**31),
+        switch_at=st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+        second_wave=st.lists(kernel_param, min_size=0, max_size=3),
+    )
+    def test_batched_equals_scalar_and_legacy(
+        self, kernel_params, failure_rate, fault_seed, switch_at, second_wave
+    ):
+        """Epoch-batched advancement is byte-identical to the reference
+        modes across random fault plans and squad switches."""
+        args = (kernel_params, failure_rate, fault_seed, switch_at, second_wave)
+        reference = run_faulty_switching_workload("scalar", *args)
+        for mode in ("legacy", "batched", "jit"):
+            assert run_faulty_switching_workload(mode, *args) == reference, mode
 
 
 class TestLaunchBatch:
@@ -140,10 +258,13 @@ class TestLaunchBatch:
 
 
 class TestGapEventSupersede:
+    # These tests pin mode="vectorized": they assert on the *heap*
+    # mechanics of gap wakes, which batched mode replaces with
+    # out-of-heap pseudo-events (covered by TestBatchedGapWakes).
     def test_superseded_wake_is_cancelled(self):
         """Regression: a later pending wake must not leak when a tighter
         gap replaces it — the stale event is cancelled in the heap."""
-        engine, registry = make_engine()
+        engine, registry = make_engine(mode="vectorized")
         queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
         engine._ensure_gap_event(queue, 100.0)
         assert engine.heap_size == 1
@@ -156,7 +277,7 @@ class TestGapEventSupersede:
         assert engine.now == pytest.approx(50.0)
 
     def test_earlier_pending_wake_is_reused(self):
-        engine, registry = make_engine()
+        engine, registry = make_engine(mode="vectorized")
         queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
         engine._ensure_gap_event(queue, 50.0)
         engine._ensure_gap_event(queue, 100.0)
@@ -164,7 +285,7 @@ class TestGapEventSupersede:
         assert engine.counters["gap_events_superseded"] == 0
 
     def test_repeated_supersede_does_not_grow_heap_unboundedly(self):
-        engine, registry = make_engine()
+        engine, registry = make_engine(mode="vectorized")
         queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
         deadline = 100_000.0
         for step in range(500):
@@ -174,6 +295,42 @@ class TestGapEventSupersede:
         assert engine.heap_size < 200
         assert engine.counters["heap_compactions"] >= 1
         assert engine.counters["gap_events_superseded"] == 499
+
+
+class TestBatchedGapWakes:
+    """Batched mode keeps gap wakes out of the heap entirely."""
+
+    def test_gap_wake_is_a_pseudo_event(self):
+        engine, registry = make_engine(mode="batched")
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        engine._ensure_gap_event(queue, 100.0)
+        assert engine.heap_size == 0
+        assert len(engine._gap_wakes) == 1
+        engine.run()
+        assert engine.now == pytest.approx(100.0)
+        assert engine._gap_wakes == {}
+
+    def test_supersede_replaces_in_place(self):
+        engine, registry = make_engine(mode="batched")
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        deadline = 100_000.0
+        for step in range(500):
+            engine._ensure_gap_event(queue, deadline - step)
+        # One dict slot per queue, no stale entries anywhere.
+        assert engine.heap_size == 0
+        assert len(engine._gap_wakes) == 1
+        assert engine.counters["gap_events_superseded"] == 499
+        engine.run()
+        assert engine.now == pytest.approx(deadline - 499)
+
+    def test_earlier_pending_wake_is_reused(self):
+        engine, registry = make_engine(mode="batched")
+        queue = engine.create_queue(registry.create("a", 1.0, charge_memory=False))
+        engine._ensure_gap_event(queue, 50.0)
+        engine._ensure_gap_event(queue, 100.0)
+        assert len(engine._gap_wakes) == 1
+        assert engine.counters["gap_events_superseded"] == 0
+        assert engine._gap_min_time == pytest.approx(50.0)
 
 
 class TestHeapCompaction:
@@ -239,6 +396,9 @@ class TestCountersSurfaced:
             "engine_events_processed",
             "engine_rebalances",
             "engine_rebalances_skipped",
+            "engine_epoch_batches",
+            "engine_epoch_kernels_advanced",
+            "engine_epoch_max_batch",
             "engine_heap_compactions",
             "engine_peak_heap_size",
             "engine_gap_events_superseded",

@@ -148,6 +148,9 @@ class TestExtrasCompatibility:
             "engine_rebalances",
             "engine_rebalances_skipped",
             "engine_rebalance_cache_hits",
+            "engine_epoch_batches",
+            "engine_epoch_kernels_advanced",
+            "engine_epoch_max_batch",
             "engine_heap_compactions",
             "engine_peak_heap_size",
             "engine_gap_events_superseded",

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     INFERENCE_SYSTEMS,
     CellExecutionError,
     ServeCell,
+    resolve_backend,
     resolve_jobs,
     run_cells,
     serve_all,
@@ -122,6 +123,60 @@ class TestParallelDeterminism:
         ]
         results = run_cells(cells, jobs=3)
         assert [r.system for r in results] == ["BLESS", "GSLICE", "TEMPORAL"]
+
+
+class TestBackends:
+    """The inproc backend: policy resolution and output identity."""
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "auto"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "inproc")
+        assert resolve_backend(None) == "inproc"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "inproc")
+        assert resolve_backend("pool") == "pool"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("threads")
+
+    def _cells(self):
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="app1"),
+            inference_app("VGG").with_quota(0.5, app_id="app2"),
+        ]
+        bindings = partial(bind_load, apps, "B", requests=2)
+        return [
+            ServeCell(
+                key=index,
+                system=name,
+                system_factory=INFERENCE_SYSTEMS[name],
+                bindings_factory=bindings,
+            )
+            for index, name in enumerate(["BLESS", "GSLICE"])
+        ]
+
+    def test_inproc_equals_pool_equals_serial(self):
+        serial = run_cells(self._cells(), jobs=1)
+        inproc = run_cells(self._cells(), jobs=4, backend="inproc")
+        pool = run_cells(self._cells(), jobs=4, backend="pool")
+        for a, b, c in zip(serial, inproc, pool):
+            assert result_fingerprint(a) == result_fingerprint(b)
+            assert result_fingerprint(a) == result_fingerprint(c)
+
+    def test_inproc_never_touches_the_pool(self, monkeypatch):
+        from repro import parallel
+
+        def boom(workers):  # pragma: no cover - failure path
+            raise AssertionError("inproc backend must not build a pool")
+
+        monkeypatch.setattr(parallel, "_get_pool", boom)
+        results = run_cells(self._cells(), jobs=4, backend="inproc")
+        assert [r.system for r in results] == ["BLESS", "GSLICE"]
 
 
 def _broken_bindings():

@@ -22,6 +22,8 @@ from ..gpusim.engine import SimEngine
 from ..gpusim.faults import FaultInjector, FaultPlan, resolve_fault_plan
 from ..gpusim.kernel import KernelInstance
 from ..gpusim.stream import DeviceQueue
+from ..gateway.gateway import ServingGateway
+from ..gateway.slo import SLOSpec
 from ..metrics.stats import FaultStats, RequestRecord, ServingResult
 from ..obs import Observability
 from ..obs import events as obs_events
@@ -64,6 +66,7 @@ class SharingSystem(abc.ABC):
         fault_plan: Optional[FaultPlan] = None,
         trace: Optional[bool] = None,
         gpu_index: Optional[int] = None,
+        slo: Optional[SLOSpec] = None,
     ):
         self.gpu_spec = gpu_spec or GPUSpec()
         self.record_timeline = record_timeline
@@ -84,6 +87,11 @@ class SharingSystem(abc.ABC):
         self.fault_plan = fault_plan if fault_plan is not None else resolve_fault_plan()
         self.fault_injector: Optional[FaultInjector] = None
         self.fault_stats = FaultStats()
+        # SLO serving gateway: attach an SLOSpec to stream arrivals
+        # through admission control + deadline accounting.  None (the
+        # default) keeps the serving loop byte-identical to history.
+        self.slo = slo
+        self._gateway: Optional[ServingGateway] = None
         # Populated per serve() call:
         self.engine: SimEngine
         self.registry: ContextRegistry
@@ -112,6 +120,15 @@ class SharingSystem(abc.ABC):
 
     def on_request_shed(self, client: ClientState, request: Request) -> None:
         """Optional hook after a request is shed (failure/timeout)."""
+
+    def request_slo_preemption(self, client: ClientState, request: Request) -> None:
+        """A latency-critical request was admitted with preemption on.
+
+        Systems that can interrupt in-flight work at a safe boundary
+        override this (BLESS: withdraw the running squad's best-effort
+        kernels at the next rate-change epoch).  Default: no-op — the
+        request simply waits its turn.
+        """
 
     def on_context_crash(
         self, context: GPUContext, killed: List[Tuple[KernelInstance, object]]
@@ -219,6 +236,13 @@ class SharingSystem(abc.ABC):
                 app=app, process=binding.fresh_process()
             )
 
+        self._gateway = (
+            ServingGateway(
+                self.slo, {c.app_id: c.app for c in self.clients.values()}
+            )
+            if self.slo is not None
+            else None
+        )
         self.setup()
         for client in self.clients.values():
             first = client.process.first_arrival()
@@ -233,6 +257,10 @@ class SharingSystem(abc.ABC):
         # legacy_extras() shim reproduces the historical extras keys
         # (engine_*, fault_*) byte-identically for golden files.
         self.obs.registry.import_mapping("engine", self.engine.counters)
+        if self._gateway is not None:
+            # slo/* gauges map to slo_* extras via the legacy shim; all
+            # additive, so cluster/epoch merges sum them exactly.
+            self.obs.registry.import_mapping("slo", self._gateway.counters)
         if self.fault_injector is not None:
             stats = self.fault_stats
             stats.transient_retries = self.engine.kernels_retried
@@ -254,8 +282,6 @@ class SharingSystem(abc.ABC):
     def _on_arrival(self, client: ClientState) -> None:
         now = self.engine.now
         request = Request(app=client.app, arrival_time=now)
-        client.pending.append(request)
-        self._inflight_enter()
         self._requests_arrived += 1
         if self.obs.tracer is not None:
             self.obs.emit(
@@ -263,6 +289,37 @@ class SharingSystem(abc.ABC):
                 client.app_id,
                 request_id=request.request_id,
             )
+        gateway = self._gateway
+        decision = None
+        if gateway is not None:
+            backlog = len(client.pending) + (1 if client.active is not None else 0)
+            decision = gateway.admit(
+                client.app_id, backlog, now, request.request_id
+            )
+            if self.obs.tracer is not None:
+                self.obs.emit(
+                    obs_events.SLO_ADMIT,
+                    client.app_id,
+                    request_id=request.request_id,
+                    slo_class=decision.slo_class,
+                    admitted=decision.admitted,
+                    rung=decision.rung,
+                    deadline_us=decision.deadline_us,
+                )
+            if not decision.admitted:
+                # Shed at the gate: the request never enters the system
+                # (no backlog slot, no timeout, no inflight window) —
+                # only the gateway's shed_admission counter moves, so
+                # fault-path sheds can never double-count it.  The
+                # closed-loop client thinks again as after a completion;
+                # an open-loop process keeps replaying its trace either
+                # way (prev_completion = now in both styles here).
+                nxt = client.process.next_arrival(now, now)
+                if nxt is not None:
+                    self._schedule_arrival(client, nxt)
+                return
+        client.pending.append(request)
+        self._inflight_enter()
         if self._request_timeout_us is not None:
             self._timeout_events[request.request_id] = self.engine.schedule(
                 self._request_timeout_us,
@@ -274,6 +331,8 @@ class SharingSystem(abc.ABC):
                 self._schedule_arrival(client, nxt)
         if client.active is None:
             self._activate_next(client)
+        if decision is not None and decision.preempt:
+            self.request_slo_preemption(client, request)
 
     def _activate_next(self, client: ClientState) -> None:
         if client.active is not None or not client.pending:
@@ -315,6 +374,18 @@ class SharingSystem(abc.ABC):
                 request_id=request.request_id,
                 latency_us=now - request.arrival_time,
             )
+        if self._gateway is not None:
+            missed = self._gateway.on_finish(
+                client.app_id, request.request_id, now
+            )
+            if missed and self.obs.tracer is not None:
+                self.obs.emit(
+                    obs_events.SLO_DEADLINE_MISS,
+                    client.app_id,
+                    request_id=request.request_id,
+                    latency_us=now - request.arrival_time,
+                    slo_class=self._gateway.class_of(client.app_id),
+                )
         self._inflight_exit()
         self.on_request_finished(client, request)
         if not _is_open_loop(client.process):
@@ -380,6 +451,8 @@ class SharingSystem(abc.ABC):
             self.fault_stats.shed_timeout += 1
         else:
             self.fault_stats.shed_failed += 1
+        if self._gateway is not None:
+            self._gateway.on_shed(client.app_id, request.request_id)
         if self.obs.tracer is not None:
             self.obs.emit(
                 obs_events.FAULT_REQUEST_SHED,

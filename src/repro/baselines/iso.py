@@ -37,7 +37,9 @@ class ISOSystem(SharingSystem):
         # the completed + shed == arrived invariant holds for ISO too.
         results = []
         for binding in bindings:
-            sub = GSLICESystem(gpu_spec=self.gpu_spec, fault_plan=self.fault_plan)
+            sub = GSLICESystem(
+                gpu_spec=self.gpu_spec, fault_plan=self.fault_plan, slo=self.slo
+            )
             results.append(sub.serve([binding]))
         return ServingResult.merge(results, system=self.name, num_slots=1)
 

@@ -38,7 +38,9 @@ class MIGSystem(SharingSystem):
             # partition equals the slice's compute share.  MIG slices
             # also have private bandwidth, which a solo run already has.
             sliced = binding.app.with_quota(instance.sm_fraction)
-            sub = GSLICESystem(gpu_spec=self.gpu_spec, fault_plan=self.fault_plan)
+            sub = GSLICESystem(
+                gpu_spec=self.gpu_spec, fault_plan=self.fault_plan, slo=self.slo
+            )
             results.append(
                 sub.serve(
                     [WorkloadBinding(app=sliced, process_factory=binding.process_factory)]

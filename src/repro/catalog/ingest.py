@@ -113,8 +113,14 @@ def result_metrics(result: ServingResult) -> Dict[str, float]:
     Non-finite values (an empty run's NaN mean) are dropped — sqlite
     would store NaN as NULL and break the lossless round-trip contract.
     The ``extras`` counters keep their existing names (``fault_*``,
-    ``config_cache_*``, ``engine_*``), so cluster-merged results carry
-    the ``completed + shed == arrived`` accounting into the catalog.
+    ``config_cache_*``, ``engine_*``, ``slo_*``), so cluster-merged
+    results carry the ``completed + shed == arrived`` accounting into
+    the catalog.  When a serving gateway ran (``slo_*`` extras
+    present), two derived headline metrics are added for the
+    latency-critical class: ``slo_attainment`` (deadline hits over
+    arrivals — gate-shed and fault-shed requests count against
+    attainment, matching the SLO-attainment figures of serving papers)
+    and ``deadline_miss_rate`` (misses over completions).
     """
     metrics: Dict[str, float] = {
         "mean_latency_us": result.mean_of_app_means(),
@@ -125,6 +131,18 @@ def result_metrics(result: ServingResult) -> Dict[str, float]:
         "makespan_us": result.makespan_us,
         "completed": float(len(result.records)),
     }
+    lc_arrived = float(result.extras.get("slo_arrived_latency_critical", 0.0))
+    if lc_arrived > 0.0:
+        hits = float(result.extras.get("slo_deadline_hits_latency_critical", 0.0))
+        misses = float(
+            result.extras.get("slo_deadline_misses_latency_critical", 0.0)
+        )
+        lc_completed = float(
+            result.extras.get("slo_completed_latency_critical", 0.0)
+        )
+        metrics["slo_attainment"] = hits / lc_arrived
+        if lc_completed > 0.0:
+            metrics["deadline_miss_rate"] = misses / lc_completed
     for key, value in result.extras.items():
         metrics.setdefault(key, float(value))
     return {

@@ -113,13 +113,22 @@ def cmd_serve(args) -> int:
     fault_plan = resolve_fault_plan(args.fault_plan, args.fault_seed)
     if fault_plan is not None:
         print(f"fault plan: {fault_plan.describe()}")
+    slo = None
+    if args.slo_mix:
+        from .gateway import parse_slo_mix
+
+        slo = parse_slo_mix(args.slo_mix, [a.app_id for a in apps])
+        classes = ", ".join(
+            f"{a.app_id}={slo.slo_class(a.app_id)}" for a in apps
+        )
+        print(f"slo mix: {classes} (preempt={'on' if slo.preempt else 'off'})")
     tracing = bool(args.trace) or resolve_tracing()
     trace_target = resolve_trace_target(args.trace)
     results = []
     latencies = {}
     for name in args.systems:
         system = INFERENCE_SYSTEMS[name](
-            fault_plan=fault_plan, trace=True if tracing else None
+            fault_plan=fault_plan, trace=True if tracing else None, slo=slo
         )
         result = system.serve(bind_load(apps, args.load, requests=args.requests))
         results.append(result)
@@ -136,6 +145,14 @@ def cmd_serve(args) -> int:
             shed = result.extras.get("fault_shed_requests", 0.0)
             degraded = result.extras.get("fault_degradation_events", 0.0)
             line += f"  shed={shed:.0f} degradation={degraded:.0f}"
+        if slo is not None:
+            arrived = result.extras.get("slo_arrived_latency_critical", 0.0)
+            hits = result.extras.get("slo_deadline_hits_latency_critical", 0.0)
+            if arrived > 0:
+                line += f"  slo={hits / arrived:.0%}"
+            preemptions = result.extras.get("slo_preemptions", 0.0)
+            if preemptions > 0:
+                line += f" preempt={preemptions:.0f}"
         print(line)
     print()
     print(bar_chart(latencies, title=f"average latency, load {args.load}",
@@ -163,6 +180,7 @@ def cmd_serve(args) -> int:
                 "requests": args.requests,
                 "training": bool(args.training),
                 "fault_plan": fault_plan.describe() if fault_plan else None,
+                "slo_mix": args.slo_mix or None,
             },
             result_metrics(result),
             artifacts=artifacts,
@@ -576,6 +594,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fault-seed", type=int,
         help="override the fault plan's seed (REPRO_FAULT_SEED)",
+    )
+    p.add_argument(
+        "--slo-mix",
+        metavar="CLASSES",
+        help="attach a serving gateway: comma-separated SLO classes in "
+        "--models order, cycled (e.g. 'lc,be'; 'lc:2.0' sets that "
+        "app's deadline to 2x solo latency). Latency-critical "
+        "arrivals preempt best-effort squads on BLESS.",
     )
     p.add_argument(
         "--trace",

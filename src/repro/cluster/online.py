@@ -96,9 +96,16 @@ class ClusterStats:
     # turned away at admission (distinct from the per-request
     # fault_shed_* counters the runtimes report for admitted apps).
     requests_shed: int = 0
+    # Ladder-shed offered requests split by SLO class, populated only
+    # when an SLOSpec rides in ``system_kwargs``.  Kept disjoint from
+    # the gateway's ``slo_shed_admission_*`` counters by construction:
+    # a ladder-shed app never reaches a GPU, so its requests are never
+    # offered to any gateway — each request is counted exactly once,
+    # either here (app refused) or in the gateway books (app placed).
+    requests_shed_by_class: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self, prefix: str = "cluster_") -> Dict[str, float]:
-        return {
+        out = {
             f"{prefix}epochs": float(self.epochs),
             f"{prefix}apps_arrived": float(self.apps_arrived),
             f"{prefix}apps_admitted": float(self.apps_admitted),
@@ -108,6 +115,11 @@ class ClusterStats:
             f"{prefix}migrations": float(self.migrations),
             f"{prefix}requests_shed": float(self.requests_shed),
         }
+        # Per-class keys only when classes exist — non-SLO runs keep
+        # the historical extras schema byte for byte.
+        for cls, count in sorted(self.requests_shed_by_class.items()):
+            out[f"{prefix}requests_shed_{cls}"] = float(count)
+        return out
 
 
 @dataclass
@@ -217,11 +229,18 @@ class OnlineClusterController:
         self.stats.apps_shed += 1
         lost = offered_requests(arrival.binding)
         self.stats.requests_shed += lost
+        slo = self.system_kwargs.get("slo")
+        slo_class = slo.slo_class(app.app_id) if slo is not None else None
+        if slo_class is not None:
+            self.stats.requests_shed_by_class[slo_class] = (
+                self.stats.requests_shed_by_class.get(slo_class, 0) + lost
+            )
         self._emit(
             CLUSTER_SHED,
             app_id=app.app_id,
             quota=app.quota,
             requests_lost=lost,
+            **({"slo_class": slo_class} if slo_class is not None else {}),
         )
         return None
 

@@ -70,6 +70,11 @@ class BlessConfig:
     # Per-app QoS targets in us (§6.5).  When set for an app, the
     # scheduler paces it against this target instead of its ISO latency.
     slo_targets_us: Optional[Dict[str, float]] = None
+    # Deadline-aware squad composition: when on, requests carrying a
+    # gateway SLO class bias P-tilde selection by slack so
+    # latency-critical requests win squad slots as their deadline
+    # approaches.  Off by default — the byte-identical legacy ordering.
+    slo_aware: bool = False
     # Profile-drift watchdog: when a squad's measured duration exceeds
     # its prediction by this ratio for ``profile_stale_patience``
     # consecutive squads, the offline profiles are declared stale and

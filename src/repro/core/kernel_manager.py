@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..gpusim.context import ContextRegistry, GPUContext
 from ..gpusim.device import OutOfMemoryError
@@ -45,6 +45,18 @@ class SquadExecution:
     remaining: int
     on_done: Callable[["SquadExecution"], None]
     finished_at: Optional[float] = None
+    # Squad-boundary preemption bookkeeping (gateway runs only; all
+    # three stay empty/zero on the default path).  ``rear_waiting``
+    # holds each Semi-SP entry's rear kernel indices until they are
+    # actually launched — whoever pops the entry first (the deferred
+    # rear launch or a preemptor) owns those kernels.  ``preempted``
+    # lists app_ids already withdrawn from this squad.  ``unconfirmed``
+    # counts launch bursts still inside their launch-overhead window
+    # (issued, not yet visible in a device queue) — a preemptor must
+    # wait them out, since pending-queue withdrawal cannot see them.
+    rear_waiting: Dict[str, List[int]] = field(default_factory=dict)
+    preempted: Set[str] = field(default_factory=set)
+    unconfirmed: int = 0
 
     @property
     def duration_us(self) -> float:
@@ -191,12 +203,17 @@ class ConcurrentKernelManager:
         exec_config: ExecutionConfig,
         on_kernel_finish: KernelCallback,
         on_done: Callable[[SquadExecution], None],
+        preemptible: bool = False,
     ) -> SquadExecution:
         """Launch every kernel of ``squad`` per ``exec_config``.
 
         ``on_kernel_finish`` fires for each completed kernel (the
         runtime uses it to detect request completions); ``on_done``
-        fires once when the whole squad has drained.
+        fires once when the whole squad has drained.  ``preemptible``
+        turns on the gateway's squad-boundary preemption bookkeeping
+        (launch confirmations, rear-slice ownership) — off by default,
+        where the launch sequence is byte-identical to the historical
+        path.
         """
         execution = SquadExecution(
             squad=squad,
@@ -213,9 +230,52 @@ class ConcurrentKernelManager:
                 execution.finished_at = self.engine.now
                 execution.on_done(execution)
 
+        tracked = execution if preemptible else None
         for app_id, entry in squad.entries.items():
-            self._launch_entry(app_id, entry, exec_config, kernel_done)
+            self._launch_entry(app_id, entry, exec_config, kernel_done, tracked)
         return execution
+
+    def preempt_squad(
+        self, execution: SquadExecution, app_ids: List[str]
+    ) -> Dict[str, List[int]]:
+        """Withdraw the named apps' unstarted kernels from a live squad.
+
+        Squad-boundary preemption, cooperative half: running kernels
+        finish naturally; pending kernels are pulled back from the
+        device queues (:meth:`SimEngine.preempt_pending`) and any
+        Semi-SP rear slice still parked on the execution is claimed.
+        Each withdrawn request is rewound (``next_kernel`` back to its
+        first withdrawn index) so the next squad re-schedules the same
+        kernels, and the squad's ``remaining`` count is settled so
+        ``on_done`` still fires exactly once.  The caller must invoke
+        ``execution.on_done`` itself if ``remaining`` hits zero here
+        (no completion is coming to do it).
+
+        Only valid for executions launched with ``preemptible=True``
+        (otherwise in-flight launch bursts are untracked).  Returns the
+        withdrawn kernel indices per app.
+        """
+        withdrawn: Dict[str, List[int]] = {}
+        for app_id in app_ids:
+            entry = execution.squad.entries.get(app_id)
+            if entry is None or app_id in execution.preempted:
+                continue
+            removed = self.engine.preempt_pending(
+                app_id, entry.request.request_id
+            )
+            indices = [kernel.seq for kernel, _callback in removed]
+            rear = execution.rear_waiting.pop(app_id, None)
+            if rear:
+                indices.extend(rear)
+            if not indices:
+                continue
+            execution.preempted.add(app_id)
+            # Queue order is FIFO and squads assign contiguous index
+            # windows, so the withdrawn set is exactly the entry's tail.
+            entry.request.next_kernel = min(indices)
+            execution.remaining -= len(indices)
+            withdrawn[app_id] = sorted(indices)
+        return withdrawn
 
     def _launch_entry(
         self,
@@ -223,10 +283,13 @@ class ConcurrentKernelManager:
         entry: SquadEntry,
         exec_config: ExecutionConfig,
         kernel_done: KernelCallback,
+        execution: Optional[SquadExecution] = None,
     ) -> None:
         indices = entry.kernel_indices
         if exec_config.partitions is None:
-            self._launch_slice(entry, indices, self._default_queue[app_id], kernel_done)
+            self._launch_slice(
+                entry, indices, self._default_queue[app_id], kernel_done, execution
+            )
             return
 
         partition = exec_config.partitions[app_id]
@@ -239,7 +302,9 @@ class ConcurrentKernelManager:
         front, rear = indices[:front_count], indices[front_count:]
 
         if not front:
-            self._launch_slice(entry, rear, self._default_queue[app_id], kernel_done)
+            self._launch_slice(
+                entry, rear, self._default_queue[app_id], kernel_done, execution
+            )
             return
 
         try:
@@ -256,16 +321,35 @@ class ConcurrentKernelManager:
                     partition=partition,
                     kernels=len(indices),
                 )
-            self._launch_slice(entry, indices, self._default_queue[app_id], kernel_done)
+            self._launch_slice(
+                entry, indices, self._default_queue[app_id], kernel_done, execution
+            )
             return
         if not rear:
-            self._launch_slice(entry, front, restricted, kernel_done)
+            self._launch_slice(entry, front, restricted, kernel_done, execution)
             return
 
         # Semi-SP: rear kernels launch only after the restricted part
         # completes, through the default context after a context switch.
+        # In preemptible mode the rear indices are parked on the
+        # execution until launched, so a preemptor arriving during the
+        # front slice (or the context-switch vacuum) can claim them.
+        if execution is not None:
+            execution.rear_waiting[app_id] = list(rear)
+
+        def launch_rear() -> None:
+            if execution is not None:
+                if execution.rear_waiting.pop(app_id, None) is None:
+                    return  # claimed by a preemptor meanwhile
+            self._launch_slice(
+                entry, rear, self._default_queue[app_id], kernel_done, execution
+            )
+
         def front_done(kernel: KernelInstance) -> None:
             kernel_done(kernel)
+            if execution is not None and app_id not in execution.rear_waiting:
+                # Rear already withdrawn: no switch, no rear launch.
+                return
             self.context_switches += 1
             if self.trace is not None:
                 self.trace.emit(
@@ -276,14 +360,11 @@ class ConcurrentKernelManager:
                     rear_kernels=len(rear),
                 )
             self.engine.schedule(
-                self.engine.device.spec.context_switch_us,
-                lambda: self._launch_slice(
-                    entry, rear, self._default_queue[app_id], kernel_done
-                ),
+                self.engine.device.spec.context_switch_us, launch_rear
             )
 
         self._launch_slice(
-            entry, front, restricted, kernel_done, last_callback=front_done
+            entry, front, restricted, kernel_done, execution, last_callback=front_done
         )
 
     def _launch_slice(
@@ -292,6 +373,7 @@ class ConcurrentKernelManager:
         indices: List[int],
         queue: DeviceQueue,
         kernel_done: KernelCallback,
+        execution: Optional[SquadExecution] = None,
         last_callback: Optional[KernelCallback] = None,
     ) -> None:
         if not indices:
@@ -300,4 +382,19 @@ class ConcurrentKernelManager:
         callbacks: List[Optional[KernelCallback]] = [kernel_done] * len(indices)
         if last_callback is not None:
             callbacks[-1] = last_callback
+        overhead = self.engine.device.spec.kernel_launch_us
+        if execution is not None and overhead > 0:
+            # Mark the burst in flight until its visibility event runs.
+            # The confirmation is scheduled *after* launch_batch, so its
+            # event seq is larger and it fires after the kernels land in
+            # the queue at the same timestamp — a preemptor observing
+            # unconfirmed == 0 can trust the pending queues.
+            execution.unconfirmed += 1
+
+            def confirm() -> None:
+                execution.unconfirmed -= 1
+
+            self.engine.launch_batch(kernels, queue, callbacks=callbacks)
+            self.engine.schedule(overhead, confirm)
+            return
         self.engine.launch_batch(kernels, queue, callbacks=callbacks)

@@ -22,10 +22,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..baselines.base import ClientState, SharingSystem
+from ..gateway.slo import BEST_EFFORT, SLOSpec
 from ..gpusim.context import GPUContext
 from ..gpusim.device import GPUSpec
 from ..gpusim.faults import FaultPlan
 from ..gpusim.kernel import KernelInstance
+from ..obs import events as obs_events
 from .config import BlessConfig, DEFAULT_CONFIG
 from .configurator import (
     ExecutionConfigDeterminer,
@@ -77,6 +79,7 @@ class BlessRuntime(SharingSystem):
         fault_plan: Optional[FaultPlan] = None,
         trace: Optional[bool] = None,
         gpu_index: Optional[int] = None,
+        slo: Optional[SLOSpec] = None,
     ):
         super().__init__(
             gpu_spec=gpu_spec,
@@ -86,6 +89,7 @@ class BlessRuntime(SharingSystem):
             fault_plan=fault_plan,
             trace=trace,
             gpu_index=gpu_index,
+            slo=slo,
         )
         self.config = config
         self.profiler = OfflineProfiler(config=config, gpu_spec=self.gpu_spec)
@@ -104,6 +108,10 @@ class BlessRuntime(SharingSystem):
         self._spatial_squads = 0
         self._profiles_stale = False
         self._stale_streak = 0
+        # Squad-boundary preemption (serving gateway): the in-flight
+        # execution, and whether an epoch hook is already armed.
+        self._current_execution: Optional[SquadExecution] = None
+        self._preempt_armed = False
 
     # ------------------------------------------------------------------
     # Deployment (§4.2)
@@ -126,6 +134,8 @@ class BlessRuntime(SharingSystem):
         self._spatial_squads = 0
         self._profiles_stale = False
         self._stale_streak = 0
+        self._current_execution = None
+        self._preempt_armed = False
 
         slo = self.config.slo_targets_us or {}
         for client in self.clients.values():
@@ -167,19 +177,26 @@ class BlessRuntime(SharingSystem):
 
     def _active_progresses(self) -> List[RequestProgress]:
         progresses = []
+        gateway = self._gateway
         for client in self.clients.values():
             request = client.active
             if request is None or request.all_scheduled:
                 continue
             app_id = client.app_id
-            progresses.append(
-                RequestProgress(
-                    request=request,
-                    profile=self.profiles[app_id],
-                    partition=self._partition_of[app_id],
-                    t_ref_us=self._t_ref[app_id],
-                )
+            progress = RequestProgress(
+                request=request,
+                profile=self.profiles[app_id],
+                partition=self._partition_of[app_id],
+                t_ref_us=self._t_ref[app_id],
             )
+            if gateway is not None:
+                # Annotate for slo_aware squad composition: class plus
+                # the absolute deadline the gateway admitted against.
+                progress.slo_class = gateway.class_of(app_id)
+                progress.slo_deadline_us = gateway.deadline_of.get(
+                    request.request_id
+                )
+            progresses.append(progress)
         return progresses
 
     def _schedule_round(self, from_idle: bool = False) -> None:
@@ -261,12 +278,15 @@ class BlessRuntime(SharingSystem):
         if exec_config.is_spatial:
             self._spatial_squads += 1
 
+        preemptible = self.slo is not None and self.slo.preempt
+
         def launch() -> None:
-            self.manager.execute_squad(
+            self._current_execution = self.manager.execute_squad(
                 squad,
                 exec_config,
                 on_kernel_finish=self._on_kernel_finish,
                 on_done=self._on_squad_done,
+                preemptible=preemptible,
             )
 
         if delay > 0:
@@ -290,6 +310,8 @@ class BlessRuntime(SharingSystem):
             self.finish_request(client)
 
     def _on_squad_done(self, execution: SquadExecution) -> None:
+        if execution is self._current_execution:
+            self._current_execution = None
         self._last_squad_duration = execution.duration_us
         if self.obs.tracer is not None:
             self.obs.emit(
@@ -323,6 +345,71 @@ class BlessRuntime(SharingSystem):
         if self._stale_streak >= self.config.profile_stale_patience:
             self._profiles_stale = True
             self.fault_stats.profile_stale_events += 1
+
+    # ------------------------------------------------------------------
+    # Squad-boundary preemption (serving gateway)
+    # ------------------------------------------------------------------
+    def request_slo_preemption(self, client: ClientState, request) -> None:
+        """An admitted latency-critical request wants the GPU.
+
+        Arms an epoch hook (:meth:`SimEngine.request_preemption`) that
+        withdraws the running squad's best-effort kernels at the next
+        rate-change epoch — running kernels finish naturally, pending
+        and Semi-SP-rear ones are pulled back and rewound, so the squad
+        boundary (the only reconfiguration point, §3.3) arrives early
+        and the next squad is composed with the new request in it.
+        """
+        execution = self._current_execution
+        if execution is None or execution.finished_at is not None:
+            return
+        gateway = self._gateway
+        if gateway is None or self._preempt_armed:
+            return
+        if not any(
+            gateway.class_of(app_id) == BEST_EFFORT
+            and app_id not in execution.preempted
+            for app_id in execution.squad.app_ids
+        ):
+            return  # nothing preemptible in flight
+        self._preempt_armed = True
+        self.engine.request_preemption(self._do_preempt)
+
+    def _do_preempt(self) -> None:
+        self._preempt_armed = False
+        execution = self._current_execution
+        gateway = self._gateway
+        if execution is None or execution.finished_at is not None or gateway is None:
+            return
+        if execution.unconfirmed > 0:
+            # A launch burst is inside its launch-overhead window, so
+            # the pending queues are not the whole truth yet.  Re-arm
+            # and preempt at the next epoch instead.
+            self._preempt_armed = True
+            self.engine.request_preemption(self._do_preempt)
+            return
+        be_apps = [
+            app_id
+            for app_id in execution.squad.app_ids
+            if gateway.class_of(app_id) == BEST_EFFORT
+        ]
+        withdrawn = self.manager.preempt_squad(execution, be_apps)
+        if not withdrawn:
+            return
+        for app_id, indices in withdrawn.items():
+            gateway.on_preempt(len(indices))
+            if self.obs.tracer is not None:
+                self.obs.emit(
+                    obs_events.SLO_PREEMPT,
+                    app_id,
+                    request_id=execution.squad.entry(app_id).request.request_id,
+                    kernels=len(indices),
+                    first_index=indices[0],
+                )
+        if execution.remaining == 0 and execution.finished_at is None:
+            # Every surviving kernel had already drained: the squad is
+            # over now; close it so the next round schedules at once.
+            execution.finished_at = self.engine.now
+            execution.on_done(execution)
 
     def on_context_crash(self, context: GPUContext, killed) -> None:
         """Recover from a restricted (MPS) context dying mid-squad.

@@ -158,10 +158,19 @@ def generate_squad(
             # arriving at the same instant) interleave instead of one
             # filling the squad, and a 8/9-quota app correctly receives
             # ~8x the kernels of a 1/9-quota co-runner at equal lag.
-            def key(p: RequestProgress):
-                entry = squad.entries.get(p.request.app.app_id)
-                in_squad = entry.count if entry is not None else 0
-                return (p.urgency(now), -in_squad / p.request.app.quota)
+            # ``slo_aware`` swaps in the deadline-pressure ordering for
+            # gateway-annotated requests; the default flag preserves the
+            # legacy arithmetic byte-for-byte.
+            if config.slo_aware:
+                def key(p: RequestProgress):
+                    entry = squad.entries.get(p.request.app.app_id)
+                    in_squad = entry.count if entry is not None else 0
+                    return (p.slo_urgency(now), -in_squad / p.request.app.quota)
+            else:
+                def key(p: RequestProgress):
+                    entry = squad.entries.get(p.request.app.app_id)
+                    in_squad = entry.count if entry is not None else 0
+                    return (p.urgency(now), -in_squad / p.request.app.quota)
 
             chosen = max(available, key=key)
         else:

@@ -53,3 +53,5 @@ ALL_EXPERIMENTS.append("tail_latency")
 ALL_EXPERIMENTS.append("resilience")
 # §4.2.2 multi-GPU: online cluster orchestration at scale.
 ALL_EXPERIMENTS.append("cluster_scale")
+# Serving gateway: SLO attainment + squad-boundary preemption ablation.
+ALL_EXPERIMENTS.append("slo_attainment")

@@ -34,7 +34,7 @@ def run_quota_split(quota_a: float = 0.7, quota_b: float = 0.3) -> Dict[str, obj
     squads: List[Dict[str, object]] = []
     original = ConcurrentKernelManager.execute_squad
 
-    def record(self, squad, cfg, on_kernel_finish, on_done):
+    def record(self, squad, cfg, on_kernel_finish, on_done, **kwargs):
         squads.append(
             {
                 "start_us": self.engine.now,
@@ -43,7 +43,7 @@ def run_quota_split(quota_a: float = 0.7, quota_b: float = 0.3) -> Dict[str, obj
                 "partitions": dict(cfg.partitions) if cfg.partitions else None,
             }
         )
-        return original(self, squad, cfg, on_kernel_finish, on_done)
+        return original(self, squad, cfg, on_kernel_finish, on_done, **kwargs)
 
     ConcurrentKernelManager.execute_squad = record
     try:

@@ -309,6 +309,12 @@ class SimEngine:
         self._finish_subscribers: List[Callable[[KernelInstance], None]] = []
         self._failure_subscribers: List[Callable[[KernelInstance], None]] = []
         self._per_kernel_callbacks: Dict[int, Callable[[KernelInstance], None]] = {}
+        # One-shot hooks drained at the next rate-change epoch (the
+        # completion tick), between the finish sweep and re-dispatch —
+        # the squad-boundary preemption points of the serving gateway.
+        # Empty outside gateway runs, so the epoch loop pays only a
+        # truthiness check and stays byte-identical across all modes.
+        self._epoch_hooks: List[Callable[[], None]] = []
         # Fault injection (None on the default, perfect-world path).
         self._faults = fault_injector
         # Optional DecisionTracer (obs/): fault/decision events are
@@ -1422,6 +1428,8 @@ class SimEngine:
                 continue
             self._running_dirty = True
             self._complete_kernel(self._queue_of[kernel.uid], kernel)
+        if self._epoch_hooks:
+            self._drain_epoch_hooks()
         self._dispatch_batched()
         if self._running_dirty or self.record_timeline:
             self._rebalance_batched()
@@ -1531,6 +1539,8 @@ class SimEngine:
                 continue
             self._running_dirty = True
             self._complete_kernel(self._queue_of[kernel.uid], kernel)
+        if self._epoch_hooks:
+            self._drain_epoch_hooks()
         self._dispatch()
         # _maybe_rebalance, inlined: membership is dirty here unless
         # the dispatch above already rebalanced (or the tick was an
@@ -1713,6 +1723,63 @@ class SimEngine:
             self._dispatch()
             self._maybe_rebalance()
         return killed
+
+    # ------------------------------------------------------------------
+    # Squad-boundary preemption (serving gateway)
+    # ------------------------------------------------------------------
+    def request_preemption(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` once at the next rate-change epoch.
+
+        Hooks drain inside the completion tick, after the finish sweep
+        and before re-dispatch — i.e. at a kernel/squad boundary, never
+        mid-kernel — in both the heap-driven and epoch-batched loops,
+        so preemption timing is mode-independent.  If nothing is
+        running (idle GPU: no completion tick will ever fire), a
+        zero-delay event drains the hooks instead.
+        """
+        self._epoch_hooks.append(hook)
+        if not (self._running_compute or self._running_memcpy):
+            self.schedule(0.0, self._drain_epoch_hooks)
+
+    def _drain_epoch_hooks(self) -> None:
+        hooks = self._epoch_hooks
+        if not hooks:
+            return
+        self._epoch_hooks = []
+        for hook in hooks:
+            hook()
+
+    def preempt_pending(
+        self, app_id: str, request_id: int
+    ) -> List[Tuple[KernelInstance, Optional[Callable[[KernelInstance], None]]]]:
+        """Withdraw every *pending* (not yet running) kernel of a request.
+
+        The cooperative half of squad-boundary preemption: running
+        kernels are left to finish (kernel-boundary semantics, as in
+        Hummingbird), queued ones are handed back to the caller so the
+        scheduler can re-issue them in a later squad.  Unlike
+        :meth:`kill_request`, withdrawn kernels are NOT marked failed
+        and no kill counters move — the request is still live, merely
+        rescheduled.  Per-kernel callbacks are returned uninvoked.
+        """
+        removed = []
+        for queue in self._queues:
+            pending = queue._pending
+            if not pending:
+                continue
+            kept = deque()
+            for kernel in pending:
+                if kernel.app_id == app_id and kernel.request_id == request_id:
+                    self._queue_of.pop(kernel.uid, None)
+                    removed.append(
+                        (kernel, self._per_kernel_callbacks.pop(kernel.uid, None))
+                    )
+                else:
+                    kept.append(kernel)
+            if len(kept) != len(pending):
+                queue._pending = kept
+                self._dirty_queues[queue.queue_id] = queue
+        return removed
 
     def kill_context(
         self, context: GPUContext

@@ -261,7 +261,12 @@ class ServingResult:
           ``len(per_gpu)`` denominator bug);
         * ``offsets`` (cluster-clock start of each sub-result, for
           sequential epochs) shift record timestamps and extend the
-          merged makespan to ``max(offset + makespan)``.
+          merged makespan to ``max(offset + makespan)``.  When offsets
+          are in play the sub-results run on the **same** slots one
+          after another, so the default slot count is ``max(weights)``
+          — not ``sum(weights)``, which would count each epoch's GPUs
+          as distinct hardware and dilute utilization by the number of
+          epochs (the epoch-chaining denominator bug).
         """
         results = list(results)
         if not results:
@@ -273,7 +278,12 @@ class ServingResult:
         if len(weights) != len(results) or len(offsets) != len(results):
             raise ValueError("weights/offsets must match results in length")
         if num_slots is None:
-            num_slots = int(sum(weights)) or len(results)
+            if any(offset != 0.0 for offset in offsets):
+                # Sequential epoch chain: the same slots are reused, so
+                # capacity is the widest epoch, not the epoch total.
+                num_slots = int(max(weights)) or len(results)
+            else:
+                num_slots = int(sum(weights)) or len(results)
         if num_slots < 1:
             raise ValueError("num_slots must be >= 1")
 

@@ -40,6 +40,13 @@ type                      emitted when
 ``cluster.depart``        an application left the cluster (online mode)
 ``cluster.epoch``         an online serving epoch finished (per-GPU
                           utilization snapshot rides in ``args``)
+``slo.admit``             the serving gateway ruled on an arriving
+                          request: admitted/degraded (deadline stamped)
+                          or shed at the gate
+``slo.preempt``           a best-effort squad entry was withdrawn at a
+                          squad boundary for a latency-critical arrival
+``slo.deadline_miss``     a latency-critical request finished past its
+                          gateway deadline
 ========================  ====================================================
 
 Cluster events are stamped on the **cluster clock**: epoch ``e`` starts
@@ -84,6 +91,11 @@ CLUSTER_MIGRATE = "cluster.migrate"
 CLUSTER_DEPART = "cluster.depart"
 CLUSTER_EPOCH = "cluster.epoch"
 
+# SLO serving gateway (admission, preemption, deadlines).
+SLO_ADMIT = "slo.admit"
+SLO_PREEMPT = "slo.preempt"
+SLO_DEADLINE_MISS = "slo.deadline_miss"
+
 #: Every decision/fault event type (``kernel`` records live alongside).
 DECISION_TYPES = (
     REQUEST_ARRIVED,
@@ -106,6 +118,9 @@ DECISION_TYPES = (
     CLUSTER_MIGRATE,
     CLUSTER_DEPART,
     CLUSTER_EPOCH,
+    SLO_ADMIT,
+    SLO_PREEMPT,
+    SLO_DEADLINE_MISS,
 )
 
 

@@ -19,7 +19,14 @@ from typing import List, Optional, Protocol, Sequence
 
 
 class ArrivalProcess(Protocol):
-    """Produces successive request arrival times for one application."""
+    """Produces successive request arrival times for one application.
+
+    ``first_arrival`` is a *restart*: calling it again rewinds the
+    process (including any internal RNG) to its initial state, so the
+    same object yields the same sequence whether it is drained up front
+    (:func:`drain_process`) or pulled one arrival at a time by the
+    serving gateway.  Incremental consumers rely on this byte-identity.
+    """
 
     def first_arrival(self) -> Optional[float]:
         """Arrival time of the first request, or None for no requests."""
@@ -77,7 +84,15 @@ class ClosedLoop:
     def first_arrival(self) -> Optional[float]:
         if self.max_requests == 0:
             return None
+        # Full restart: rewind the jitter RNG along with the issue
+        # counter, otherwise a process drained once (e.g. for offered-
+        # request estimation) replays a *different* jitter sequence the
+        # second time — drain-vs-incremental identity would break.
         self._issued = 1
+        if self.jitter > 0.0:
+            import numpy as np
+
+            self._rng = np.random.default_rng(self.seed)
         return self.start_us
 
     def next_arrival(
@@ -153,8 +168,7 @@ class OneShot:
     _fired: bool = field(default=False, init=False)
 
     def first_arrival(self) -> Optional[float]:
-        if self._fired:
-            return None
+        # Restartable like every other process: first_arrival rewinds.
         self._fired = True
         return self.at_us
 

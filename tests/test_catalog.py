@@ -261,6 +261,44 @@ class TestRecordRoundTrip:
         )
 
 
+    def test_result_metrics_derive_slo_headlines(self):
+        # A gateway-attached run gets the two derived serving-paper
+        # headlines; attainment counts gate/fault sheds against the
+        # latency-critical class (hits over arrivals, not completions).
+        result = make_result(
+            extras={
+                "slo_arrived_latency_critical": 10.0,
+                "slo_completed_latency_critical": 8.0,
+                "slo_shed_admission_latency_critical": 2.0,
+                "slo_deadline_hits_latency_critical": 6.0,
+                "slo_deadline_misses_latency_critical": 2.0,
+            }
+        )
+        metrics = result_metrics(result)
+        assert metrics["slo_attainment"] == pytest.approx(0.6)
+        assert metrics["deadline_miss_rate"] == pytest.approx(0.25)
+        # Raw per-class counters still ride along untouched.
+        assert metrics["slo_arrived_latency_critical"] == 10.0
+
+    def test_result_metrics_no_slo_headlines_without_gateway(self):
+        metrics = result_metrics(make_result())
+        assert "slo_attainment" not in metrics
+        assert "deadline_miss_rate" not in metrics
+
+    def test_result_metrics_slo_no_completions(self):
+        # Every latency-critical arrival shed: attainment is defined
+        # (0.0), miss rate is not (no completions to miss over).
+        result = make_result(
+            extras={
+                "slo_arrived_latency_critical": 4.0,
+                "slo_shed_admission_latency_critical": 4.0,
+            }
+        )
+        metrics = result_metrics(result)
+        assert metrics["slo_attainment"] == 0.0
+        assert "deadline_miss_rate" not in metrics
+
+
 class TestRevisions:
     def test_resolve_exact_prefix_ambiguous(self, tmp_path):
         with ResultsCatalog(tmp_path / "cat.sqlite") as catalog:

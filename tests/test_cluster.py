@@ -442,3 +442,92 @@ class TestClusterScaleExperiment:
 
         measured = json.loads(json.dumps(run_quick(jobs=2), sort_keys=True))
         assert measured == json.loads(GOLDEN.read_text())
+
+
+class TestOnlineSLOAccounting:
+    """Per-class offered-request conservation at cluster scope.
+
+    An offered request ends in exactly one bucket: gateway-completed,
+    gateway-shed (admission or fault), or ladder-shed before its app
+    ever reached a gateway (``cluster_requests_shed_<class>``) —
+    ``completed + shed == arrived`` must hold per SLO class, not just
+    in aggregate, and the two shed paths must never double-count.
+    """
+
+    def schedule(self, specs):
+        arrivals = []
+        for app_id, quota, arrive, depart in specs:
+            binding = bind_load([app(app_id, quota)], "C", requests=2)[0]
+            arrivals.append(
+                AppArrival(
+                    binding=binding, arrive_epoch=arrive, depart_epoch=depart
+                )
+            )
+        return arrivals
+
+    def spec(self):
+        from repro.gateway import SLOPolicy, SLOSpec
+
+        return SLOSpec(
+            policies={
+                "a": SLOPolicy(slo_class="latency_critical"),
+                "b": SLOPolicy(slo_class="best_effort"),
+            }
+        )
+
+    def test_per_class_books_balance_with_ladder_shed(self):
+        from repro.gateway import check_slo_accounting
+
+        sched = self.schedule([("a", 1.0, 0, None), ("b", 0.9, 0, None)])
+        controller = OnlineClusterController(
+            num_gpus=1,
+            degrade_factors=(),
+            system_kwargs={"slo": self.spec()},
+        )
+        result = controller.serve(sched)
+        extras = result.merged.extras
+        # b (best-effort) was refused by the ladder: its offered load is
+        # accounted per class, and it never reached a gateway — the two
+        # shed paths are structurally disjoint.
+        lost = float(offered_requests(sched[1].binding))
+        assert extras["cluster_requests_shed_best_effort"] == lost
+        assert extras.get("slo_arrived_best_effort", 0.0) == 0.0
+        assert extras.get("slo_shed_admission_best_effort", 0.0) == 0.0
+        report = check_slo_accounting(
+            extras,
+            offered={
+                "latency_critical": extras["slo_arrived_latency_critical"],
+                "best_effort": lost,
+            },
+        )
+        assert report["latency_critical"]["leak"] == 0.0
+        assert report["best_effort"]["shed_cluster"] == lost
+        assert result.stats.requests_shed_by_class == {
+            "best_effort": int(lost)
+        }
+
+    def test_admitted_classes_balance_without_sheds(self):
+        from repro.gateway import check_slo_accounting
+
+        controller = OnlineClusterController(
+            num_gpus=2, system_kwargs={"slo": self.spec()}
+        )
+        result = controller.serve(
+            self.schedule([("a", 0.5, 0, None), ("b", 0.5, 0, None)])
+        )
+        report = check_slo_accounting(result.merged.extras)
+        for cls in ("latency_critical", "best_effort"):
+            assert report[cls]["arrived"] > 0
+            assert report[cls]["leak"] == 0.0
+            assert report[cls]["shed_cluster"] == 0.0
+
+    def test_non_slo_runs_keep_historical_schema(self):
+        sched = self.schedule([("a", 1.0, 0, None), ("b", 0.9, 0, None)])
+        controller = OnlineClusterController(num_gpus=1, degrade_factors=())
+        result = controller.serve(sched)
+        extras = result.merged.extras
+        assert extras["cluster_requests_shed"] > 0
+        assert not any(
+            key.startswith("cluster_requests_shed_") for key in extras
+        )
+        assert result.stats.requests_shed_by_class == {}

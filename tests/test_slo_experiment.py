@@ -1,0 +1,82 @@
+"""SLO-attainment experiment: structure, acceptance, and golden replay.
+
+The golden file pins the full ``run_quick`` output at the experiment's
+fixed seed; CI's slo-smoke leg replays it to prove gateway-attached
+runs (admission, deadlines, squad-boundary preemption) stay
+byte-identical across changes.  The acceptance tests pin the headline
+claims: BLESS holds latency-critical attainment strictly above the
+baselines once the GPU saturates, and preemption only pays when squads
+are long — under the default short-squad config the next boundary is
+always near (§3.3), which is the bubbleless design's own story.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.slo_attainment import run_quick
+
+GOLDEN = Path(__file__).parent / "golden" / "slo_smoke.json"
+
+
+@pytest.fixture(scope="module")
+def data():
+    return run_quick(jobs=1)
+
+
+class TestSLOExperiment:
+    def test_grid_shape(self, data):
+        assert set(data) == {
+            "load=0.5",
+            "load=0.7",
+            "load=1",
+            "ablation/short-squads",
+            "ablation/long-squads",
+        }
+        for load in ("load=0.5", "load=0.7", "load=1"):
+            assert set(data[load]) == {"ISO", "UNBOUND", "MIG", "BLESS"}
+        for squads in ("short", "long"):
+            assert set(data[f"ablation/{squads}-squads"]) == {
+                "BLESS",
+                "BLESS-nopreempt",
+            }
+
+    def test_bless_beats_baselines_at_saturation(self, data):
+        """The acceptance bar: strictly higher LC attainment than the
+        partitioned (ISO) and unmanaged (MPS/UNBOUND) baselines at
+        offered load >= 0.7."""
+        for load in ("load=0.7", "load=1"):
+            bless = data[load]["BLESS"]["slo_attainment"]
+            for baseline in ("ISO", "UNBOUND"):
+                assert bless > data[load][baseline]["slo_attainment"], (
+                    f"{load}: BLESS {bless} vs {baseline} "
+                    f"{data[load][baseline]['slo_attainment']}"
+                )
+
+    def test_preemption_pays_only_with_long_squads(self, data):
+        long = data["ablation/long-squads"]
+        short = data["ablation/short-squads"]
+        assert (
+            long["BLESS"]["slo_attainment"]
+            > long["BLESS-nopreempt"]["slo_attainment"]
+        )
+        # Preemption actually fired in the winning cell.
+        assert long["BLESS"]["preemptions"] > 0
+        assert long["BLESS-nopreempt"]["preemptions"] == 0
+        # Short squads bound the wait at ~1 ms, so preemption cannot
+        # move attainment — the reconfiguration-as-preemption story.
+        assert (
+            short["BLESS"]["slo_attainment"]
+            == short["BLESS-nopreempt"]["slo_attainment"]
+        )
+
+    def test_matches_golden(self, data):
+        measured = json.loads(json.dumps(data, sort_keys=True))
+        golden = json.loads(GOLDEN.read_text())
+        assert measured == golden
+
+    def test_parallel_matches_golden(self):
+        measured = json.loads(json.dumps(run_quick(jobs=2), sort_keys=True))
+        golden = json.loads(GOLDEN.read_text())
+        assert measured == golden

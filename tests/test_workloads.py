@@ -112,7 +112,15 @@ class TestOneShot:
         process = OneShot(at_us=7.0)
         assert process.first_arrival() == 7.0
         assert process.next_arrival(7.0, 10.0) is None
-        assert process.first_arrival() is None
+
+    def test_first_arrival_restarts(self):
+        # first_arrival is a *restart* (Protocol contract): draining the
+        # process and then rewinding yields the same sequence again.
+        process = OneShot(at_us=7.0)
+        assert process.first_arrival() == 7.0
+        assert process.next_arrival(7.0, 10.0) is None
+        assert process.first_arrival() == 7.0
+        assert process.next_arrival(7.0, 10.0) is None
 
 
 class TestTraces:

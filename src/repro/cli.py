@@ -707,8 +707,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quotas", nargs="+", type=float)
     p.add_argument(
         "--policy",
+        "--placement",
         default="best_fit",
-        choices=["first_fit", "best_fit", "worst_fit"],
+        choices=["first_fit", "best_fit", "worst_fit", "contention_aware"],
+        help="placement policy (contention_aware = Eq. 2 interference-"
+        "cost minimization, see docs/cluster.md)",
     )
     p.add_argument("--load", default="B", choices=["A", "B", "C"])
     p.add_argument("--requests", type=int, default=8)

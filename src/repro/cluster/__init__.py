@@ -6,6 +6,11 @@ from .controller import (
     serve_gpus,
     system_name,
 )
+from .interference import (
+    InterferenceEstimator,
+    PlacementCostModel,
+    solve_placement,
+)
 from .online import (
     AppArrival,
     ClusterStats,
@@ -18,6 +23,7 @@ from .placement import (
     GPUSlot,
     PlacementError,
     PlacementPolicy,
+    admission_accepts,
 )
 
 __all__ = [
@@ -27,11 +33,15 @@ __all__ = [
     "ClusterResult",
     "ClusterStats",
     "GPUSlot",
+    "InterferenceEstimator",
     "OnlineClusterController",
     "OnlineClusterResult",
+    "PlacementCostModel",
     "PlacementError",
     "PlacementPolicy",
+    "admission_accepts",
     "offered_requests",
     "serve_gpus",
+    "solve_placement",
     "system_name",
 ]

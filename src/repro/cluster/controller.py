@@ -29,7 +29,7 @@ from ..core.runtime import BlessRuntime
 from ..gpusim.device import GPUSpec
 from ..metrics.stats import ServingResult
 from ..obs import ClusterTracer, resolve_tracing
-from ..obs.events import CLUSTER_PLACE
+from ..obs.events import CLUSTER_COST, CLUSTER_INTERFERENCE, CLUSTER_PLACE
 from ..parallel import (
     ServeCell,
     cells_are_picklable,
@@ -148,11 +148,18 @@ class ClusterController:
         system_factory: SystemFactory = BlessRuntime,
         system_kwargs: Optional[dict] = None,
         trace: Optional[bool] = None,
+        exact_placement: bool = False,
     ):
         self.gpu_spec = gpu_spec or GPUSpec()
-        self.placer = ClusterPlacer(num_gpus, self.gpu_spec, policy)
-        self.system_factory = system_factory
         self.system_kwargs = dict(system_kwargs or {})
+        self.placer = ClusterPlacer(
+            num_gpus,
+            self.gpu_spec,
+            policy,
+            slo=self.system_kwargs.get("slo"),
+            exact=exact_placement,
+        )
+        self.system_factory = system_factory
         self.tracing = resolve_tracing(trace)
         self.tracer: Optional[ClusterTracer] = (
             ClusterTracer() if self.tracing else None
@@ -183,6 +190,8 @@ class ClusterController:
             raise ValueError("duplicate app_ids in cluster workload")
 
         placements = self.placer.place_all([b.app for b in bindings])
+        cost_model = self.placer.cost_model
+        placement_cost = self.placer.placement_cost()
         if self.tracer is not None:
             self.tracer.now = 0.0
             for gpu_index in sorted(placements):
@@ -194,6 +203,24 @@ class ClusterController:
                         quota=app.quota,
                         policy=self.placer.policy.value,
                     )
+                    if cost_model is not None:
+                        group = placements[gpu_index]
+                        co = [a for a in group if a is not app]
+                        self.tracer.emit(
+                            CLUSTER_INTERFERENCE,
+                            app_id=app.app_id,
+                            gpu=gpu_index,
+                            slowdown=cost_model.estimator.slowdown(app, co),
+                            slot_cost=cost_model.slot_cost(group),
+                        )
+            if cost_model is not None:
+                self.tracer.emit(
+                    CLUSTER_COST,
+                    cost=placement_cost,
+                    policy=self.placer.policy.value,
+                    estimator_hits=cost_model.estimator.hits,
+                    estimator_misses=cost_model.estimator.misses,
+                )
 
         gpu_bindings = [
             (gpu_index, [by_app[app.app_id] for app in apps])
@@ -218,6 +245,11 @@ class ClusterController:
             system=f"cluster/{system_name(self.system_factory, self.system_kwargs)}",
             num_slots=len(self.placer.slots),
         )
+        # The contention policy's objective value rides in extras (and
+        # thus the catalog) as ``cluster_placement_cost``; quota
+        # policies keep the historical extras schema byte for byte.
+        if placement_cost is not None:
+            merged.extras["cluster_placement_cost"] = float(placement_cost)
         # Record the cluster-wide merge (not just the per-GPU cells) so
         # the catalog carries the completed + shed == arrived accounting
         # at the level CI perf queries compare.

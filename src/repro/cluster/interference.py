@@ -1,0 +1,453 @@
+"""Contention-aware placement: interference estimates and cost model.
+
+The §4.2.2 central controller is supposed to use "the memory
+requirement and profiled kernel information to decide which specific
+GPU to place applications **to avoid conflict**" — but the quota-fit
+policies of :mod:`.placement` never look at *which* applications
+interfere.  The Eq. 2 workload-equivalence predictor
+(:func:`repro.core.predictors.workload_equivalence_estimate`) already
+estimates exactly that signal: co-located kernels serialize wave by
+wave at the SMs they jointly activate, so the predicted squad duration
+of a co-resident group is the cross-app slowdown every member suffers.
+
+This module turns that predictor into a placement objective, following
+the contention-aware GPU partitioning line of work (PAPERS.md):
+
+* :class:`InterferenceEstimator` — Eq. 2 joint-duration estimates over
+  an application group's full kernel windows, memoized on **profile
+  signatures** (``(model, calibration version, kernel count)``) so a
+  64-GPU sweep re-scores thousands of candidate groups against a
+  handful of distinct model combinations;
+* :class:`PlacementCostModel` — scores one GPU's co-resident group as
+  the sum of every member's predicted **excess completion time** over
+  solo, in microseconds (optionally SLO-class-weighted so
+  latency-critical tenants dominate the objective), and a full
+  assignment as the sum over GPUs;
+* :func:`solve_placement` — deterministic greedy construction plus
+  bounded local-search refinement (move and swap moves), with an
+  optional exact enumeration for small clusters (``N <= 4`` GPUs)
+  behind the ``exact`` flag.
+
+The solver is pure (it never touches :class:`~.placement.GPUSlot`
+state); :class:`~.placement.ClusterPlacer` drives it when its policy is
+``CONTENTION_AWARE`` and commits the returned assignment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..apps.application import Application, Request
+from ..core.config import DEFAULT_CONFIG, BlessConfig
+from ..core.predictors import workload_equivalence_estimate
+from ..core.profiler import OfflineProfiler
+from ..core.squad import KernelSquad
+from ..gpusim.device import GPUSpec
+
+#: Default SLO-class weights of the cost model: a latency-critical
+#: app's predicted slowdown counts this much more than a best-effort
+#: one, so the solver keeps LC tenants on the quieter GPUs.  Class
+#: names duck-type against ``repro.gateway.SLOSpec.slo_class`` — the
+#: cluster layer carries no gateway import.
+DEFAULT_CLASS_WEIGHTS: Mapping[str, float] = {
+    "latency_critical": 4.0,
+    "best_effort": 1.0,
+}
+
+#: Local-search budget: the refinement loop applies at most
+#: ``LOCAL_SEARCH_ROUNDS * num_apps`` improving moves before stopping
+#: (each move strictly reduces the assignment cost, so termination is
+#: guaranteed anyway; the bound caps worst-case work on big clusters).
+LOCAL_SEARCH_ROUNDS = 4
+
+#: Exact enumeration is attempted only within these bounds — beyond
+#: them the state space (``slots ** apps``) dwarfs what local search
+#: loses, so the solver silently falls back to greedy + refinement.
+EXACT_MAX_SLOTS = 4
+EXACT_MAX_APPS = 8
+
+#: Cost deltas below this are ties: local search only takes strictly
+#: improving moves, and tie-breaks fall through to deterministic keys.
+#: Costs are microseconds, so sub-microsecond deltas are float noise.
+COST_EPS = 1e-6
+
+#: A feasibility oracle: may ``candidate`` join ``group`` on one GPU?
+FeasibilityCheck = Callable[[Sequence[Application], Application], bool]
+
+
+class InterferenceEstimator:
+    """Eq. 2 joint-duration estimates for co-resident application groups.
+
+    ``joint_us(group)`` predicts how long one request of every group
+    member takes when the group shares a GPU unrestricted — the Eq. 2
+    wave model serializes the members' kernels at their jointly
+    activated SM width, so the estimate grows with every co-runner's
+    work and shrinks with parallel speedup at wider activation.  The
+    per-app slowdown ``joint(group) / joint({app})`` is the predicted
+    interference the placement cost model minimizes.
+
+    Estimates are memoized on the group's sorted **profile signatures**
+    — ``(model name, calibration version, kernel count)`` per member —
+    so groups of the same models (regardless of app_id or quota, which
+    Eq. 2 does not read) share one computation.  The profiler's
+    ``recalibrate()`` bumps the version, invalidating stale entries by
+    construction.
+    """
+
+    def __init__(
+        self,
+        profiler: Optional[OfflineProfiler] = None,
+        config: BlessConfig = DEFAULT_CONFIG,
+        gpu_spec: Optional[GPUSpec] = None,
+    ):
+        self.profiler = profiler or OfflineProfiler(
+            config=config, gpu_spec=gpu_spec
+        )
+        self._joint_cache: Dict[Hashable, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def profile_signature(self, app: Application) -> Tuple[str, int, int]:
+        """The memoization term one application contributes."""
+        profile = self.profiler.profile(app)
+        return (profile.app_name, profile.version, profile.num_kernels)
+
+    def joint_us(self, group: Sequence[Application]) -> float:
+        """Eq. 2 estimate of one full request-wave of ``group``."""
+        if not group:
+            return 0.0
+        key = tuple(sorted(self.profile_signature(app) for app in group))
+        cached = self._joint_cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        squad = KernelSquad()
+        profiles = {}
+        for index, app in enumerate(group):
+            # Synthetic full-window squad: one request per member over
+            # its entire kernel trace.  request_id is pinned so the
+            # estimator never consumes the process-global request
+            # counter (placement must not perturb serving-run ids),
+            # and entry ids are position-unique so a group may legally
+            # contain two deployments of one app_id.
+            entry_id = f"{app.app_id}#{index}"
+            request = Request(
+                app=app.with_quota(app.quota, app_id=entry_id),
+                arrival_time=0.0,
+                request_id=index,
+            )
+            for kernel in range(app.num_kernels):
+                squad.add(request, kernel)
+            profiles[entry_id] = self.profiler.profile(app)
+        estimate = float(workload_equivalence_estimate(squad, profiles))
+        self._joint_cache[key] = estimate
+        return estimate
+
+    def solo_us(self, app: Application) -> float:
+        """The singleton estimate the slowdown ratio is taken against."""
+        return self.joint_us([app])
+
+    def slowdown(
+        self, app: Application, co_resident: Sequence[Application]
+    ) -> float:
+        """Predicted slowdown of ``app`` next to ``co_resident``."""
+        solo = self.solo_us(app)
+        if solo <= 0.0:
+            return 1.0
+        return self.joint_us([app, *co_resident]) / solo
+
+    def matrix(
+        self, apps: Sequence[Application]
+    ) -> Dict[Tuple[str, str], float]:
+        """The pairwise interference matrix over ``apps``.
+
+        ``matrix[(a, b)]`` is the predicted slowdown of ``a`` when
+        co-located with ``b`` alone — asymmetric by construction (a
+        light app suffers more next to a heavy one than vice versa).
+        """
+        out: Dict[Tuple[str, str], float] = {}
+        for a in apps:
+            for b in apps:
+                if a.app_id == b.app_id:
+                    continue
+                out[(a.app_id, b.app_id)] = self.slowdown(a, [b])
+        return out
+
+
+class PlacementCostModel:
+    """Scores assignments as summed, weighted predicted excess time.
+
+    One GPU hosting group ``G`` costs
+    ``sum_{a in G} w_a * (joint(G) - solo(a))`` microseconds — each
+    member's predicted slowdown expressed in time units
+    (``solo(a) * (slowdown_a - 1)``), zero for an empty or singleton
+    slot.  Keeping the objective in microseconds rather than
+    dimensionless ratios matters: a ratio objective prefers pairing two
+    heavy apps (each "only" doubles) over shielding a light app whose
+    ratio would spike, which piles the most work onto one GPU; the
+    time-unit objective instead predicts aggregate latency inflation,
+    so minimizing it balances predicted work — and therefore makespan,
+    throughput, and tail latency — across the cluster.  ``w_a`` is 1.0
+    unless an SLO spec classes the app, in which case ``class_weights``
+    applies (latency-critical tenants weigh more, steering them onto
+    quieter GPUs).  A full assignment's cost is the sum over GPUs;
+    minimizing it is the §4.2.2 "avoid conflict" objective made
+    concrete.
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[InterferenceEstimator] = None,
+        slo=None,
+        class_weights: Optional[Mapping[str, float]] = None,
+        config: BlessConfig = DEFAULT_CONFIG,
+        gpu_spec: Optional[GPUSpec] = None,
+    ):
+        self.estimator = estimator or InterferenceEstimator(
+            config=config, gpu_spec=gpu_spec
+        )
+        self.slo = slo
+        self.class_weights = dict(class_weights or DEFAULT_CLASS_WEIGHTS)
+
+    def weight(self, app: Application) -> float:
+        if self.slo is None:
+            return 1.0
+        return float(
+            self.class_weights.get(self.slo.slo_class(app.app_id), 1.0)
+        )
+
+    def slot_cost(self, group: Sequence[Application]) -> float:
+        """Weighted predicted excess time (μs) of one GPU's group."""
+        if len(group) <= 1:
+            return 0.0
+        joint = self.estimator.joint_us(group)
+        total = 0.0
+        for app in group:
+            solo = self.estimator.solo_us(app)
+            total += self.weight(app) * max(0.0, joint - solo)
+        return total
+
+    def add_cost(
+        self, group: Sequence[Application], candidate: Application
+    ) -> float:
+        """Marginal cost of adding ``candidate`` to ``group``."""
+        return self.slot_cost([*group, candidate]) - self.slot_cost(group)
+
+    def assignment_cost(
+        self, groups: Sequence[Sequence[Application]]
+    ) -> float:
+        """Total cost of a full assignment (one group per GPU)."""
+        return sum(self.slot_cost(group) for group in groups)
+
+
+def _construct_greedy(
+    apps: Sequence[Application],
+    num_slots: int,
+    cost_model: PlacementCostModel,
+    feasible: FeasibilityCheck,
+    key: Callable[[Sequence[Application], Application, int], Tuple],
+) -> Optional[List[List[Application]]]:
+    """Place ``apps`` one by one, choosing slots by ``key`` (min wins)."""
+    groups: List[List[Application]] = [[] for _ in range(num_slots)]
+    for app in apps:
+        candidates = [
+            index
+            for index in range(num_slots)
+            if feasible(groups[index], app)
+        ]
+        if not candidates:
+            return None
+        chosen = min(candidates, key=lambda i: key(groups[i], app, i))
+        groups[chosen].append(app)
+    return groups
+
+
+def _local_search(
+    groups: List[List[Application]],
+    cost_model: PlacementCostModel,
+    feasible: FeasibilityCheck,
+) -> List[List[Application]]:
+    """Bounded best-improvement refinement with move and swap moves.
+
+    Each round scans every single-app **move** (app to another slot)
+    and every pairwise **swap** (exchange two apps between slots),
+    applies the strictly-cheapest feasible one, and repeats until no
+    move improves or the ``LOCAL_SEARCH_ROUNDS``-scaled budget is
+    spent.  All scans iterate in deterministic (slot index, app_id)
+    order and ties break on ``(kind, app_id, target)`` so two runs
+    refine identically.
+    """
+    num_apps = sum(len(group) for group in groups)
+    budget = LOCAL_SEARCH_ROUNDS * max(1, num_apps)
+    for _ in range(budget):
+        best: Optional[Tuple[Tuple, Callable[[], None]]] = None
+
+        def consider(gain: float, tie: Tuple, apply_move: Callable[[], None]):
+            nonlocal best
+            entry = ((-gain,) + tie, apply_move)
+            if best is None or entry[0] < best[0]:
+                best = entry
+
+        for source in range(len(groups)):
+            for app in sorted(groups[source], key=lambda a: a.app_id):
+                others = [a for a in groups[source] if a is not app]
+                source_cost = cost_model.slot_cost(groups[source])
+                source_without = cost_model.slot_cost(others)
+                for target in range(len(groups)):
+                    if target == source:
+                        continue
+                    target_group = groups[target]
+                    target_cost = cost_model.slot_cost(target_group)
+                    # Move: app leaves source for target.
+                    if feasible(target_group, app):
+                        gain = (
+                            source_cost
+                            + target_cost
+                            - source_without
+                            - cost_model.slot_cost([*target_group, app])
+                        )
+                        if gain > COST_EPS:
+                            consider(
+                                gain,
+                                (0, app.app_id, "", target),
+                                lambda s=source, t=target, a=app: (
+                                    groups[s].remove(a),
+                                    groups[t].append(a),
+                                ),
+                            )
+                    # Swap: app exchanges places with one target app.
+                    for other in sorted(target_group, key=lambda a: a.app_id):
+                        target_without = [
+                            a for a in target_group if a is not other
+                        ]
+                        if not feasible(target_without, app):
+                            continue
+                        if not feasible(others, other):
+                            continue
+                        gain = (
+                            source_cost
+                            + target_cost
+                            - cost_model.slot_cost([*others, other])
+                            - cost_model.slot_cost([*target_without, app])
+                        )
+                        if gain > COST_EPS:
+                            consider(
+                                gain,
+                                (1, app.app_id, other.app_id, target),
+                                lambda s=source, t=target, a=app, o=other: (
+                                    groups[s].remove(a),
+                                    groups[t].remove(o),
+                                    groups[s].append(o),
+                                    groups[t].append(a),
+                                ),
+                            )
+        if best is None:
+            break
+        best[1]()
+    return groups
+
+
+def _exact_search(
+    apps: Sequence[Application],
+    num_slots: int,
+    cost_model: PlacementCostModel,
+    feasible: FeasibilityCheck,
+) -> Optional[List[List[Application]]]:
+    """Enumerate every feasible assignment; return the cheapest.
+
+    Only attempted within ``EXACT_MAX_SLOTS`` / ``EXACT_MAX_APPS`` —
+    the caller falls back to greedy + local search outside the bounds.
+    Enumeration order and the strict ``<`` comparison make the argmin
+    deterministic (first-found among equal-cost assignments wins, and
+    the iteration order is itself deterministic).
+    """
+    if num_slots > EXACT_MAX_SLOTS or len(apps) > EXACT_MAX_APPS:
+        return None
+    best_cost = float("inf")
+    best_groups: Optional[List[List[Application]]] = None
+    for choice in itertools.product(range(num_slots), repeat=len(apps)):
+        groups: List[List[Application]] = [[] for _ in range(num_slots)]
+        ok = True
+        for app, slot in zip(apps, choice):
+            if not feasible(groups[slot], app):
+                ok = False
+                break
+            groups[slot].append(app)
+        if not ok:
+            continue
+        cost = cost_model.assignment_cost(groups)
+        if cost < best_cost - COST_EPS:
+            best_cost = cost
+            best_groups = groups
+    return best_groups
+
+
+def solve_placement(
+    apps: Sequence[Application],
+    num_slots: int,
+    cost_model: PlacementCostModel,
+    feasible: FeasibilityCheck,
+    exact: bool = False,
+) -> Optional[List[List[Application]]]:
+    """Assign ``apps`` to ``num_slots`` GPUs minimizing predicted cost.
+
+    Deterministic pipeline:
+
+    1. order apps by descending solo estimate (heaviest first — the
+       classic bin-packing order, with app_id tie-breaks);
+    2. construct two candidate assignments greedily — one by marginal
+       *cost* (spread-by-interference) over the solo order, and one
+       replicating :meth:`~.placement.ClusterPlacer.place_all` under
+       best-fit exactly (quota-descending stable order, headroom key)
+       — so the result is **never worse than the best-fit placer's
+       assignment** under this cost model (a property the test suite
+       pins);
+    3. refine each with bounded local search and keep the cheaper;
+    4. with ``exact=True`` on a small cluster, replace the answer with
+       the enumerated optimum when enumeration is tractable.
+
+    Returns one group per slot, or ``None`` when no construction can
+    place every app (the caller decides between degrading and
+    shedding).
+    """
+    order = sorted(
+        apps,
+        key=lambda a: (-cost_model.estimator.solo_us(a), a.app_id),
+    )
+    # Stable quota-descending order — byte-for-byte the order the
+    # best-fit placer batches in, so the headroom construction below
+    # reproduces its assignment exactly before refinement only ever
+    # improves it.
+    bf_order = sorted(apps, key=lambda a: a.quota, reverse=True)
+
+    def cost_key(group, app, index):
+        return (cost_model.add_cost(group, app), index)
+
+    def headroom_key(group, app, index):
+        free = 1.0 - sum(a.quota for a in group)
+        return (float(free - app.quota), index)
+
+    candidates = []
+    for construction_order, key in ((order, cost_key), (bf_order, headroom_key)):
+        groups = _construct_greedy(
+            construction_order, num_slots, cost_model, feasible, key
+        )
+        if groups is None:
+            continue
+        groups = _local_search(groups, cost_model, feasible)
+        candidates.append((cost_model.assignment_cost(groups), groups))
+    if exact:
+        enumerated = _exact_search(order, num_slots, cost_model, feasible)
+        if enumerated is not None:
+            candidates.append(
+                (cost_model.assignment_cost(enumerated), enumerated)
+            )
+    if not candidates:
+        return None
+    best_cost, best_groups = candidates[0]
+    for cost, groups in candidates[1:]:
+        if cost < best_cost - COST_EPS:
+            best_cost, best_groups = cost, groups
+    return best_groups

@@ -10,8 +10,10 @@ the cumulative makespan of epochs ``0..e-1``).
 Per epoch the orchestrator:
 
 1. processes departures (``depart_epoch == e``), freeing their GPUs;
-2. optionally performs one load-balancing migration between epochs
-   (GPUs are drained at epoch boundaries, so moving an app is free);
+2. optionally performs one migration between epochs (GPUs are drained
+   at epoch boundaries, so moving an app is free) — quota-spread
+   balancing under the quota-fit policies, the largest strict
+   interference-cost reduction under ``CONTENTION_AWARE``;
 3. admits arrivals (``arrive_epoch == e``) through a load-shedding
    ladder: place at full quota → retry at degraded quotas (the PR-3
    graceful-degradation idea applied at cluster scope) → after a
@@ -39,8 +41,10 @@ from ..gpusim.device import GPUSpec
 from ..metrics.stats import ServingResult
 from ..obs import ClusterTracer, resolve_tracing
 from ..obs.events import (
+    CLUSTER_COST,
     CLUSTER_DEPART,
     CLUSTER_EPOCH,
+    CLUSTER_INTERFERENCE,
     CLUSTER_MIGRATE,
     CLUSTER_PLACE,
     CLUSTER_SHED,
@@ -163,11 +167,18 @@ class OnlineClusterController:
         migrate: bool = False,
         degrade_factors: Sequence[float] = DEFAULT_DEGRADE_FACTORS,
         trace: Optional[bool] = None,
+        exact_placement: bool = False,
     ):
         self.gpu_spec = gpu_spec or GPUSpec()
-        self.placer = ClusterPlacer(num_gpus, self.gpu_spec, policy)
-        self.system_factory = system_factory
         self.system_kwargs = dict(system_kwargs or {})
+        self.placer = ClusterPlacer(
+            num_gpus,
+            self.gpu_spec,
+            policy,
+            slo=self.system_kwargs.get("slo"),
+            exact=exact_placement,
+        )
+        self.system_factory = system_factory
         self.migrate = migrate
         self.degrade_factors = tuple(degrade_factors)
         self.tracing = resolve_tracing(trace)
@@ -221,6 +232,19 @@ class OnlineClusterController:
                         degraded=degraded,
                         policy=self.placer.policy.value,
                     )
+                    cost_model = self.placer.cost_model
+                    if cost_model is not None:
+                        group = self.placer.slots[gpu].apps
+                        co = [a for a in group if a is not candidate]
+                        self._emit(
+                            CLUSTER_INTERFERENCE,
+                            app_id=app.app_id,
+                            gpu=gpu,
+                            slowdown=cost_model.estimator.slowdown(
+                                candidate, co
+                            ),
+                            slot_cost=cost_model.slot_cost(group),
+                        )
                     return candidate
             # One defragmenting migration, then retry the ladder once.
             if attempt == 0 and self.migrate and self._migrate_once():
@@ -305,6 +329,7 @@ class OnlineClusterController:
         shed_apps: List[str] = []
         degraded_quotas: Dict[str, float] = {}
         shed_ids = set()
+        epoch_costs: List[float] = []
         offset = 0.0
 
         for epoch in range(epochs):
@@ -340,6 +365,21 @@ class OnlineClusterController:
                 self._factories[arrival.app_id] = arrival.binding.process_factory
                 if deployed.quota < arrival.binding.app.quota - 1e-12:
                     degraded_quotas[arrival.app_id] = deployed.quota
+
+            # Contention policy: record the epoch's objective value on
+            # the trace and in the per-run cost trail (averaged into
+            # ``cluster_placement_cost`` at the end).
+            if self.placer.cost_model is not None:
+                epoch_cost = self.placer.placement_cost()
+                epoch_costs.append(epoch_cost)
+                self._emit(
+                    CLUSTER_COST,
+                    epoch=epoch,
+                    cost=epoch_cost,
+                    policy=self.placer.policy.value,
+                    estimator_hits=self.placer.cost_model.estimator.hits,
+                    estimator_misses=self.placer.cost_model.estimator.misses,
+                )
 
             # 4. Serve every occupied GPU for one workload pass.
             gpu_bindings = [
@@ -405,6 +445,13 @@ class OnlineClusterController:
         else:
             merged = ServingResult(system=name)
         merged.extras.update(self.stats.as_dict())
+        if epoch_costs:
+            # Mean per-epoch interference cost — the scenario-level
+            # ``placement_cost`` metric the catalog compares across
+            # policies.  Absent for quota policies (historical schema).
+            merged.extras["cluster_placement_cost"] = float(
+                sum(epoch_costs) / len(epoch_costs)
+            )
         ingest_metrics_safe(
             "cluster_online",
             merged.system,

@@ -11,7 +11,18 @@ that controller's placement decision:
   (§4.2.2's starvation rule) all allow it;
 * among feasible GPUs, `best_fit` picks the one whose remaining quota
   headroom is smallest after placement (pack tightly, keep whole GPUs
-  free), `worst_fit` the largest (balance load), `first_fit` the first.
+  free), `worst_fit` the largest (balance load), `first_fit` the first;
+* `contention_aware` scores candidates with the Eq. 2 interference
+  cost model of :mod:`.interference` instead of quota headroom —
+  greedy marginal-cost selection online, greedy construction plus
+  local-search refinement for batches, and cost-driven migration
+  proposals (see ``docs/cluster.md``).
+
+Admission feasibility (:func:`repro.core.deployment.check_admission`)
+is memoized on the co-resident group's **admission signature** — the
+exact per-app fields the check reads — so scoring many candidate slots
+against the same model mix costs one admission check, not one per
+probe (the 64-GPU sweeps were previously quadratic in checks).
 """
 
 from __future__ import annotations
@@ -23,16 +34,78 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..apps.application import Application
 from ..core.deployment import check_admission
 from ..gpusim.device import GPUSpec
+from .interference import COST_EPS, PlacementCostModel, solve_placement
 
 
 class PlacementPolicy(enum.Enum):
     FIRST_FIT = "first_fit"
     BEST_FIT = "best_fit"
     WORST_FIT = "worst_fit"
+    CONTENTION_AWARE = "contention_aware"
 
 
 class PlacementError(RuntimeError):
     """No GPU can host the application."""
+
+
+# -- admission memoization ------------------------------------------------
+#
+# ``check_admission`` reads exactly these per-app fields: memory_mb,
+# quota, and the mean/max compute-kernel durations (the §4.2.2
+# starvation rule).  A group's decision is therefore a pure function of
+# the multiset of per-app signatures plus the GPU spec, which is what
+# the cache keys on — byte-identical decisions, pinned by
+# ``tests/test_cluster.py::TestAdmissionMemoization``.
+_ADMISSION_CACHE: Dict[Tuple, bool] = {}
+
+
+def _duration_stats(app: Application) -> Tuple[float, float]:
+    """(mean, max) compute-kernel durations, cached on the instance."""
+    cached = app.__dict__.get("_admission_durations")
+    if cached is None:
+        durations = [k.base_duration_us for k in app.kernels if k.is_compute]
+        if durations:
+            cached = (sum(durations) / len(durations), max(durations))
+        else:
+            cached = (0.0, 0.0)
+        app.__dict__["_admission_durations"] = cached
+    return cached
+
+
+def admission_signature(app: Application) -> Tuple[float, float, float, float]:
+    """Everything ``check_admission`` reads about one application."""
+    mean, longest = _duration_stats(app)
+    return (float(app.memory_mb), float(app.quota), mean, longest)
+
+
+def admission_accepts(
+    apps: Sequence[Application], spec: GPUSpec
+) -> bool:
+    """Memoized ``check_admission(apps, spec).accepted``."""
+    key = (
+        spec.memory_mb,
+        spec.mps_context_mb,
+        tuple(sorted(admission_signature(app) for app in apps)),
+    )
+    cached = _ADMISSION_CACHE.get(key)
+    if cached is None:
+        cached = check_admission(list(apps), gpu_spec=spec).accepted
+        _ADMISSION_CACHE[key] = cached
+    return cached
+
+
+def group_feasible(
+    group: Sequence[Application], candidate: Application, spec: GPUSpec
+) -> bool:
+    """May ``candidate`` join ``group`` on one GPU of ``spec``?
+
+    The quota-headroom pre-check mirrors :meth:`GPUSlot.fits` so the
+    contention solver and the slot-based policies agree on feasibility.
+    """
+    free = 1.0 - sum(app.quota for app in group)
+    if candidate.quota > free + 1e-9:
+        return False
+    return admission_accepts([*group, candidate], spec)
 
 
 @dataclass
@@ -62,44 +135,73 @@ class GPUSlot:
 
     def fits(self, app: Application) -> bool:
         """Would ``app`` be admitted alongside this GPU's current apps?"""
-        if app.quota > self.quota_free + 1e-9:
-            return False
-        report = check_admission(self.apps + [app], gpu_spec=self.spec)
-        return report.accepted
+        return group_feasible(self.apps, app, self.spec)
 
 
 class ClusterPlacer:
-    """Places applications on a pool of GPUs."""
+    """Places applications on a pool of GPUs.
+
+    ``policy`` selects among quota-fit rules (first/best/worst-fit) and
+    the interference-cost objective (``CONTENTION_AWARE``).  The cost
+    model is built lazily for the contention policy (pass ``cost_model``
+    to share an estimator or supply SLO class weights); ``exact=True``
+    additionally enables exhaustive batch placement on small clusters
+    (``N <= 4`` GPUs, see :mod:`.interference`).
+    """
 
     def __init__(
         self,
         num_gpus: int,
         gpu_spec: Optional[GPUSpec] = None,
         policy: PlacementPolicy = PlacementPolicy.BEST_FIT,
+        cost_model: Optional[PlacementCostModel] = None,
+        slo=None,
+        exact: bool = False,
     ):
         if num_gpus < 1:
             raise ValueError("need at least one GPU")
         spec = gpu_spec or GPUSpec()
         self.policy = policy
+        self.exact = exact
         self.slots = [GPUSlot(index=i, spec=spec) for i in range(num_gpus)]
+        if cost_model is None and policy is PlacementPolicy.CONTENTION_AWARE:
+            cost_model = PlacementCostModel(gpu_spec=spec, slo=slo)
+        self.cost_model = cost_model
+
+    @property
+    def gpu_spec(self) -> GPUSpec:
+        return self.slots[0].spec
+
+    def _feasible(
+        self, group: Sequence[Application], candidate: Application
+    ) -> bool:
+        return group_feasible(group, candidate, self.gpu_spec)
 
     def select(self, app: Application) -> Optional[GPUSlot]:
         """The slot ``place`` would choose, without recording (None = none).
 
-        Both fit keys sort by the slot's quota headroom *after*
+        The quota-fit keys sort by the slot's headroom *after*
         placement with the slot index as an explicit tie-break:
         ``app.quota`` is slot-invariant so it never changes the argmin,
         but float-equal headrooms (common with the Table-2 rational
         quotas, and representation-sensitive across numpy/python float
         paths) previously tie-broke on whatever order ``min``/``max``
         happened to scan — the index makes the decision deterministic
-        by construction.
+        by construction.  ``CONTENTION_AWARE`` sorts by the marginal
+        interference cost of joining each slot's group instead (an
+        empty GPU costs nothing, so the rule spreads first and then
+        co-locates the least-conflicting mixes), same index tie-break.
         """
         feasible = [slot for slot in self.slots if slot.fits(app)]
         if not feasible:
             return None
         if self.policy is PlacementPolicy.FIRST_FIT:
             return feasible[0]
+        if self.policy is PlacementPolicy.CONTENTION_AWARE:
+            return min(
+                feasible,
+                key=lambda s: (self.cost_model.add_cost(s.apps, app), s.index),
+            )
         if self.policy is PlacementPolicy.BEST_FIT:
             return min(
                 feasible,
@@ -142,17 +244,31 @@ class ClusterPlacer:
         used = [slot.quota_used for slot in self.slots]
         return max(used) - min(used)
 
-    def propose_migration(self) -> Optional[Tuple[Application, GPUSlot, GPUSlot]]:
-        """One load-balancing move, or None when no move helps.
+    def placement_cost(self) -> Optional[float]:
+        """Interference cost of the current assignment (None = no model)."""
+        if self.cost_model is None:
+            return None
+        return self.cost_model.assignment_cost(
+            [slot.apps for slot in self.slots]
+        )
 
-        Deterministic rule: take the most-loaded slot (lowest index on
-        ties), and among its apps that *fit* on the least-loaded slot,
-        pick the smallest-quota one (app_id tie-break) whose move
-        strictly reduces the cluster's quota spread.  Returns
-        ``(app, source, target)`` without applying the move.
+    def propose_migration(self) -> Optional[Tuple[Application, GPUSlot, GPUSlot]]:
+        """One improving move, or None when no move helps.
+
+        Quota policies keep the deterministic load-balancing rule: take
+        the most-loaded slot (lowest index on ties), and among its apps
+        that *fit* on the least-loaded slot, pick the smallest-quota
+        one (app_id tie-break) whose move strictly reduces the
+        cluster's quota spread.  ``CONTENTION_AWARE`` replaces it with
+        a cost-driven proposal: the single move that most reduces the
+        assignment's interference cost (ties: app_id, then target then
+        source index).  Returns ``(app, source, target)`` without
+        applying the move.
         """
         if len(self.slots) < 2:
             return None
+        if self.policy is PlacementPolicy.CONTENTION_AWARE:
+            return self._propose_migration_cost()
         source = min(self.slots, key=lambda s: (-s.quota_used, s.index))
         target = min(self.slots, key=lambda s: (s.quota_used, s.index))
         if source.index == target.index:
@@ -172,6 +288,37 @@ class ClusterPlacer:
                 return app, source, target
         return None
 
+    def _propose_migration_cost(
+        self,
+    ) -> Optional[Tuple[Application, GPUSlot, GPUSlot]]:
+        """The single move with the largest strict cost reduction."""
+        model = self.cost_model
+        best: Optional[Tuple[Tuple, Application, GPUSlot, GPUSlot]] = None
+        for source in self.slots:
+            source_cost = model.slot_cost(source.apps)
+            for app in sorted(source.apps, key=lambda a: a.app_id):
+                others = [a for a in source.apps if a is not app]
+                source_without = model.slot_cost(others)
+                for target in self.slots:
+                    if target.index == source.index:
+                        continue
+                    if not target.fits(app):
+                        continue
+                    gain = (
+                        source_cost
+                        + model.slot_cost(target.apps)
+                        - source_without
+                        - model.slot_cost([*target.apps, app])
+                    )
+                    if gain <= COST_EPS:
+                        continue
+                    key = (-gain, app.app_id, target.index, source.index)
+                    if best is None or key < best[0]:
+                        best = (key, app, source, target)
+        if best is None:
+            return None
+        return best[1], best[2], best[3]
+
     def apply_migration(
         self, app: Application, source: GPUSlot, target: GPUSlot
     ) -> None:
@@ -184,10 +331,53 @@ class ClusterPlacer:
         Returns ``{gpu_index: [apps...]}``.  Raises
         :class:`PlacementError` if any app cannot be placed; previously
         recorded placements are kept (callers wanting transactionality
-        should use a fresh placer).
+        should use a fresh placer).  Under ``CONTENTION_AWARE`` the
+        batch is solved as one cost minimization instead
+        (:func:`repro.cluster.interference.solve_placement`): greedy
+        construction, local-search refinement, optional exact search
+        (``exact=True``, small clusters) — and nothing is recorded if
+        the solver cannot place every app.
         """
+        if self.policy is PlacementPolicy.CONTENTION_AWARE:
+            return self._place_all_contention(apps)
         for app in sorted(apps, key=lambda a: a.quota, reverse=True):
             self.place(app)
+        return {slot.index: list(slot.apps) for slot in self.slots if slot.apps}
+
+    def _place_all_contention(
+        self, apps: Sequence[Application]
+    ) -> Dict[int, List[Application]]:
+        occupied = sum(len(slot.apps) for slot in self.slots)
+        if occupied:
+            # Mixed batch-on-occupied placement falls back to the
+            # marginal-cost greedy rule app by app (the online
+            # controller's path); the solver owns only clean batches.
+            for app in sorted(
+                apps,
+                key=lambda a: (-self.cost_model.estimator.solo_us(a), a.app_id),
+            ):
+                self.place(app)
+            return {
+                slot.index: list(slot.apps)
+                for slot in self.slots
+                if slot.apps
+            }
+        groups = solve_placement(
+            apps,
+            len(self.slots),
+            self.cost_model,
+            self._feasible,
+            exact=self.exact,
+        )
+        if groups is None:
+            total = sum(app.quota for app in apps)
+            raise PlacementError(
+                f"no feasible contention-aware assignment for "
+                f"{len(apps)} apps (total quota {total:.0%}) on "
+                f"{len(self.slots)} GPUs"
+            )
+        for slot, group in zip(self.slots, groups):
+            slot.apps.extend(group)
         return {slot.index: list(slot.apps) for slot in self.slots if slot.apps}
 
     def utilization_summary(self) -> str:

@@ -40,6 +40,12 @@ type                      emitted when
 ``cluster.depart``        an application left the cluster (online mode)
 ``cluster.epoch``         an online serving epoch finished (per-GPU
                           utilization snapshot rides in ``args``)
+``cluster.interference``  the contention-aware policy placed an app: the
+                          chosen GPU, the Eq. 2 predicted slowdown next
+                          to its co-residents, and the marginal cost
+``cluster.cost``          a contention-aware placement round settled:
+                          total assignment interference cost (and the
+                          estimator's memoization hit/miss counters)
 ``slo.admit``             the serving gateway ruled on an arriving
                           request: admitted/degraded (deadline stamped)
                           or shed at the gate
@@ -90,6 +96,8 @@ CLUSTER_SHED = "cluster.shed"
 CLUSTER_MIGRATE = "cluster.migrate"
 CLUSTER_DEPART = "cluster.depart"
 CLUSTER_EPOCH = "cluster.epoch"
+CLUSTER_INTERFERENCE = "cluster.interference"
+CLUSTER_COST = "cluster.cost"
 
 # SLO serving gateway (admission, preemption, deadlines).
 SLO_ADMIT = "slo.admit"
@@ -118,6 +126,8 @@ DECISION_TYPES = (
     CLUSTER_MIGRATE,
     CLUSTER_DEPART,
     CLUSTER_EPOCH,
+    CLUSTER_INTERFERENCE,
+    CLUSTER_COST,
     SLO_ADMIT,
     SLO_PREEMPT,
     SLO_DEADLINE_MISS,

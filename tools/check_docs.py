@@ -8,7 +8,12 @@ Scans every ``*.md`` under the repo root and ``docs/`` and verifies:
   resolve to a heading in the target file, using GitHub's slug rules
   (lowercase, spaces to dashes, punctuation stripped, ``-1`` suffixes
   for duplicates);
-* reference-style definitions ``[label]: path`` resolve the same way.
+* reference-style definitions ``[label]: path`` resolve the same way;
+* every public module under ``src/repro/`` is mentioned in at least
+  one ``docs/*.md`` file — by dotted path (``repro.cluster.placement``)
+  or by source path (``cluster/placement.py``) — so new subsystems
+  cannot land undocumented.  ``_private.py`` modules, ``__init__.py``
+  re-export shims, and the ``MODULE_ALLOWLIST`` below are exempt.
 
 External links (``http(s)://``, ``mailto:``) are not fetched.  Exits
 non-zero listing every broken link — this is the CI docs gate
@@ -61,6 +66,53 @@ def markdown_files(root: Path) -> List[Path]:
     return [f for f in files if f.is_file()]
 
 
+#: Public modules that need no docs mention: experiment drivers are
+#: catalogued per figure/table in EXPERIMENTS.md rather than per file,
+#: and conftest-style plumbing has no API surface.
+MODULE_ALLOWLIST = (
+    "repro.experiments.",  # prefix: per-figure drivers (EXPERIMENTS.md)
+)
+
+
+def public_modules(root: Path) -> List[str]:
+    """Dotted names of every public module under ``src/repro/``."""
+    src = root / "src" / "repro"
+    modules = []
+    for path in sorted(src.rglob("*.py")):
+        if path.name.startswith("_"):
+            continue  # __init__, __main__, _private helpers
+        dotted = "repro." + ".".join(
+            path.relative_to(src).with_suffix("").parts
+        )
+        if any(
+            dotted == entry or (entry.endswith(".") and dotted.startswith(entry))
+            for entry in MODULE_ALLOWLIST
+        ):
+            continue
+        modules.append(dotted)
+    return modules
+
+
+def check_module_coverage(root: Path) -> List[str]:
+    """Every public ``src/repro`` module must appear in some docs page."""
+    docs = sorted((root / "docs").glob("*.md"))
+    if not docs:
+        return []
+    corpus = "\n".join(d.read_text(encoding="utf-8") for d in docs)
+    errors = []
+    for dotted in public_modules(root):
+        # repro.cluster.placement matches either the dotted path or the
+        # cluster/placement.py source-path spelling.
+        tail = dotted.split(".", 1)[1]
+        as_path = tail.replace(".", "/") + ".py"
+        if dotted not in corpus and as_path not in corpus:
+            errors.append(
+                f"docs/: public module {dotted} ({as_path}) is not "
+                f"mentioned in any docs/*.md page"
+            )
+    return errors
+
+
 def check(root: Path) -> List[str]:
     errors: List[str] = []
     anchor_cache: Dict[Path, Set[str]] = {}
@@ -86,6 +138,7 @@ def check(root: Path) -> List[str]:
                     errors.append(
                         f"{md.relative_to(root)}: broken anchor -> {target}"
                     )
+    errors.extend(check_module_coverage(root))
     return errors
 
 

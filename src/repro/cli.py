@@ -12,6 +12,9 @@ Commands
 ``results``                query the sqlite results catalog
                            (``list`` / ``query`` / ``compare`` / ``gc`` /
                            ``ingest-bench``; see docs/results-catalog.md)
+``scenario``               list / show / run declarative scenarios
+                           (the committed zoo or any spec file;
+                           see docs/scenarios.md)
 
 Examples
 --------
@@ -20,6 +23,7 @@ python -m repro profile BERT --partitions 18 9 5
 python -m repro timeline --models VGG R50 --width 100
 python -m repro trace --models R50 VGG --load B --out trace.json
 python -m repro results compare origin-main HEAD --threshold throughput_qps=-0.05
+python -m repro scenario run llm_inference_tails --jobs 2
 """
 
 from __future__ import annotations
@@ -303,6 +307,74 @@ def cmd_cluster(args) -> int:
         print(f"trace: {_write_trace(controller.tracer, trace_target)}")
         if not trace_target.endswith(".jsonl"):
             print("open it at https://ui.perfetto.dev (per-GPU tracks)")
+    return 0
+
+
+def cmd_scenario_list(_args) -> int:
+    from .experiments.common import format_table
+    from .scenarios import list_zoo, load_zoo
+
+    rows = []
+    for name in list_zoo():
+        try:
+            spec = load_zoo(name)
+            rows.append([name, str(len(spec.systems)),
+                         str(len(spec.sweep)) or "0", spec.description])
+        except Exception as error:  # a broken zoo file should still list
+            rows.append([name, "?", "?", f"unreadable: {error}"])
+    print(format_table(["scenario", "systems", "axes", "description"], rows,
+                       title="scenario zoo (run with: repro scenario run <name>)"))
+    return 0
+
+
+def cmd_scenario_show(args) -> int:
+    from .experiments.common import format_table
+    from .scenarios import dumps, expand_sweep, load_zoo, resolve_scenario
+
+    spec = load_zoo(args.name)
+    summary = resolve_scenario(spec)
+    print(dumps(spec), end="")
+    rows = [[key, " ".join(point.systems)] for key, point in expand_sweep(spec)]
+    print(format_table(["point", "systems"], rows,
+                       title=f"{summary['points']} point(s), "
+                       f"{summary['cells']} cell(s), "
+                       f"apps: {', '.join(summary['apps'])}"))
+    return 0
+
+
+def cmd_scenario_run(args) -> int:
+    import json as _json
+
+    from .experiments.common import format_table
+    from .scenarios import load_zoo, run_scenario
+
+    spec = load_zoo(args.name)
+    results = run_scenario(spec, jobs=args.jobs, backend=args.backend)
+    if args.json:
+        print(_json.dumps(results, indent=2, sort_keys=True))
+    else:
+        rows = []
+        for point, by_system in results.items():
+            for system, metrics in by_system.items():
+                rows.append([
+                    point,
+                    system,
+                    f"{metrics.get('mean_latency_us', float('nan')) / 1000:.2f}",
+                    f"{metrics.get('p99_latency_us', float('nan')) / 1000:.2f}",
+                    f"{metrics.get('throughput_qps', float('nan')):.1f}",
+                    f"{metrics.get('utilization', float('nan')):.1%}",
+                ])
+        print(format_table(
+            ["point", "system", "mean ms", "p99 ms", "qps", "util"],
+            rows, title=f"scenario {spec.name}"))
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            _json.dumps(results, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"saved results to {args.output}")
     return 0
 
 
@@ -741,6 +813,34 @@ def build_parser() -> argparse.ArgumentParser:
         "(.jsonl = JSON lines, else Perfetto trace_event)",
     )
     p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser(
+        "scenario",
+        help="list, inspect, and run declarative scenarios (docs/scenarios.md)",
+    )
+    scenario_sub = p.add_subparsers(dest="scenario_command", required=True)
+
+    sp = scenario_sub.add_parser("list", help="list the committed scenario zoo")
+    sp.set_defaults(func=cmd_scenario_list)
+
+    sp = scenario_sub.add_parser(
+        "show", help="print a scenario's canonical spec and resolved grid"
+    )
+    sp.add_argument("name", help="zoo scenario name or a spec file path")
+    sp.set_defaults(func=cmd_scenario_show)
+
+    sp = scenario_sub.add_parser(
+        "run", help="run every sweep point x system cell of a scenario"
+    )
+    sp.add_argument("name", help="zoo scenario name or a spec file path")
+    sp.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    sp.add_argument(
+        "--backend", default=None, choices=["auto", "inproc", "pool"],
+        help="cell execution backend (default: REPRO_BACKEND, then auto)",
+    )
+    sp.add_argument("--json", action="store_true", help="emit the full metrics JSON")
+    sp.add_argument("--output", help="also write the metrics JSON here")
+    sp.set_defaults(func=cmd_scenario_run)
 
     p = sub.add_parser("profile", help="offline-profile one application")
     p.add_argument("model", choices=MODEL_NAMES)

@@ -118,7 +118,16 @@ def reduction_vs(results: Dict[str, ServingResult], reference: str) -> Dict[str,
 def format_table(
     header: List[str], rows: List[List[str]], title: str = ""
 ) -> str:
-    """Plain fixed-width table used by every experiment's main()."""
+    """Plain fixed-width table used by every experiment's main().
+
+    Ragged input is handled defensively: a row with more cells than the
+    header gets extra (blank-headed) columns, and short rows are padded
+    with empty cells — renderers over heterogeneous dicts (scenario
+    ``show``, ad-hoc catalog queries) must never crash the report.
+    """
+    columns = max([len(header)] + [len(row) for row in rows], default=0)
+    header = list(header) + [""] * (columns - len(header))
+    rows = [list(row) + [""] * (columns - len(row)) for row in rows]
     widths = [len(h) for h in header]
     for row in rows:
         for i, cell in enumerate(row):

@@ -59,7 +59,16 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
-        jobs = int(env) if env else 1
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"invalid REPRO_JOBS value {env!r}; expected an "
+                    "integer (1 = serial, 0 or negative = all cores)"
+                ) from None
+        else:
+            jobs = 1
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
@@ -75,12 +84,14 @@ def resolve_backend(backend: Optional[str] = None) -> str:
     pickle round-trip), ``"pool"`` uses the shared process pool, and
     ``"auto"`` defers to the historical jobs/cell-count rule.
     """
+    from_env = backend is None
     if backend is None:
         backend = os.environ.get("REPRO_BACKEND", "").strip() or "auto"
     backend = backend.lower()
     if backend not in BACKENDS:
+        source = "REPRO_BACKEND value" if from_env else "backend"
         raise ValueError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            f"unknown {source} {backend!r}; expected one of {BACKENDS}"
         )
     return backend
 
@@ -134,21 +145,40 @@ class CellExecutionError(RuntimeError):
 
 # One cached worker pool, reused across run_cells calls: a report run
 # executes dozens of cell grids back to back, and forking a fresh pool
-# for each would dominate small grids.  Keyed by (worker count, engine
-# mode) because forked workers freeze REPRO_ENGINE_MODE at creation.
+# for each would dominate small grids.  Keyed by the worker count plus
+# every environment variable forked workers freeze at creation —
+# workers that outlive an environment change would otherwise silently
+# run cells under the old engine mode, fault plan, trace target, or
+# catalog path, diverging from the serial path (scenario sweeps flip
+# these between back-to-back grids).
+_POOL_ENV_KEYS = (
+    "REPRO_ENGINE_MODE",
+    "REPRO_FAULT_PLAN",
+    "REPRO_FAULT_SEED",
+    "REPRO_TRACE",
+    "REPRO_CATALOG",
+)
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_key: Optional[tuple] = None
+# Counts pool constructions (never reset); tests assert grids of
+# varying size reuse one pool instead of re-forking per grid.
+_pool_generation = 0
+
+
+def _pool_env_signature() -> tuple:
+    return tuple(os.environ.get(key, "") for key in _POOL_ENV_KEYS)
 
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
-    global _pool, _pool_key
-    key = (workers, os.environ.get("REPRO_ENGINE_MODE", ""))
+    global _pool, _pool_key, _pool_generation
+    key = (workers, _pool_env_signature())
     if _pool is not None and _pool_key == key:
         return _pool
     if _pool is not None:
         _pool.shutdown(wait=False)
     _pool = ProcessPoolExecutor(max_workers=workers)
     _pool_key = key
+    _pool_generation += 1
     return _pool
 
 
@@ -237,7 +267,13 @@ def run_cells(
     if backend == "inproc" or jobs <= 1 or len(cells) <= 1:
         outcomes = [_execute_serial(cell) for cell in cells]
     else:
-        pool = _get_pool(min(jobs, len(cells)))
+        # Key the pool on the resolved job count, not min(jobs, cells):
+        # clamping to the grid size re-forked the whole pool whenever
+        # consecutive grids had different cell counts below ``jobs``.
+        # ProcessPoolExecutor spawns workers on demand (and in-flight
+        # submissions are bounded by its own queue), so a small grid on
+        # a wide pool touches only as many workers as it has cells.
+        pool = _get_pool(jobs)
         try:
             futures = [pool.submit(_execute_cell, cell) for cell in cells]
         except RuntimeError:

@@ -1,0 +1,148 @@
+"""Component registry: named, resolvable scenario building blocks.
+
+A scenario spec (:mod:`repro.scenarios.spec`) never imports python
+objects — it names components by ``(kind, name)`` registry key plus
+kwargs, and this registry resolves them.  The shape follows vivarium's
+component manager/plugin split (PAPERS.md): the framework owns the
+*kinds* (what slots a scenario has), while the components themselves
+are pluggable — anything can call :func:`register` to add one without
+touching the framework.
+
+Kinds
+-----
+``apps``       application-mix factories → ``List[Application]``
+``arrivals``   binders ``(apps, requests=..., **kw) → List[WorkloadBinding]``
+``faults``     fault-plan factories → :class:`~repro.gpusim.faults.FaultPlan`
+``slo``        gateway-spec builders ``(apps, **kw) → SLOSpec``
+``system``     sharing-system factories (the §6.1 comparison matrix)
+``placement``  cluster placement policies → :class:`PlacementPolicy`
+
+Plugins
+-------
+Entry-point-style extension without packaging metadata: name modules in
+the ``REPRO_SCENARIO_PLUGINS`` environment variable (comma-separated
+import paths) and :func:`load_plugins` imports each one before specs
+resolve; a plugin module registers its components at import time with
+the :func:`register` decorator::
+
+    from repro.scenarios import register
+
+    @register("arrivals", "my_arrivals")
+    def bind_my_arrivals(apps, requests=8, **kw): ...
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+KINDS: Tuple[str, ...] = (
+    "apps",
+    "arrivals",
+    "faults",
+    "slo",
+    "system",
+    "placement",
+)
+
+#: Environment variable naming plugin modules to import (comma-sep).
+PLUGINS_ENV = "REPRO_SCENARIO_PLUGINS"
+
+
+class ScenarioError(ValueError):
+    """Base class for every scenario framework error."""
+
+
+class UnknownComponentError(ScenarioError):
+    """A spec named a component the registry does not know."""
+
+
+class ComponentBuildError(ScenarioError):
+    """A component factory rejected the spec's kwargs."""
+
+
+class ComponentRegistry:
+    """Maps ``(kind, name)`` keys to component factories."""
+
+    def __init__(self) -> None:
+        self._components: Dict[Tuple[str, str], Callable] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self, kind: str, name: str, factory: Optional[Callable] = None
+    ) -> Callable:
+        """Register ``factory`` under ``(kind, name)``; decorator-friendly.
+
+        Re-registering a key overwrites it (last wins), so plugins can
+        shadow a built-in deliberately.
+        """
+        if kind not in KINDS:
+            raise ScenarioError(
+                f"unknown component kind {kind!r}; expected one of {KINDS}"
+            )
+        if factory is None:
+            def decorator(fn: Callable) -> Callable:
+                self._components[(kind, name)] = fn
+                return fn
+
+            return decorator
+        self._components[(kind, name)] = factory
+        return factory
+
+    def names(self, kind: str) -> List[str]:
+        """Sorted component names registered under ``kind``."""
+        return sorted(n for k, n in self._components if k == kind)
+
+    def resolve(self, kind: str, name: str) -> Callable:
+        """The factory for ``(kind, name)``; raise listing alternatives."""
+        factory = self._components.get((kind, name))
+        if factory is None:
+            known = ", ".join(self.names(kind)) or "<none>"
+            raise UnknownComponentError(
+                f"unknown {kind} component {name!r}; registered {kind} "
+                f"components: {known}"
+            )
+        return factory
+
+    def build(self, kind: str, name: str, *args, **kwargs):
+        """Resolve and call a component, turning bad kwargs into a
+        :class:`ComponentBuildError` that names the component and its
+        accepted signature instead of a bare ``TypeError``."""
+        factory = self.resolve(kind, name)
+        try:
+            return factory(*args, **kwargs)
+        except TypeError as exc:
+            try:
+                signature = str(inspect.signature(factory))
+            except (TypeError, ValueError):  # builtins without signatures
+                signature = "(...)"
+            raise ComponentBuildError(
+                f"{kind} component {name!r} rejected kwargs "
+                f"{sorted(kwargs)}: {exc} (signature: {name}{signature})"
+            ) from exc
+
+
+#: The process-global registry every spec resolves against.
+REGISTRY = ComponentRegistry()
+
+
+def register(kind: str, name: str, factory: Optional[Callable] = None):
+    """Module-level shorthand for ``REGISTRY.register`` (plugin API)."""
+    return REGISTRY.register(kind, name, factory)
+
+
+def load_plugins(modules: Optional[List[str]] = None) -> List[str]:
+    """Import plugin modules (argument, else ``REPRO_SCENARIO_PLUGINS``).
+
+    Each module registers its components at import time.  Returns the
+    module names imported; a module that fails to import raises — a
+    half-registered scenario namespace is worse than a loud error.
+    """
+    if modules is None:
+        env = os.environ.get(PLUGINS_ENV, "").strip()
+        modules = [m.strip() for m in env.split(",") if m.strip()]
+    for module in modules:
+        importlib.import_module(module)
+    return modules

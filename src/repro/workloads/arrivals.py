@@ -132,6 +132,81 @@ class Continuous:
 
 
 @dataclass
+class AutoregressiveLoop:
+    """LLM-style closed loop with a heavy-tailed autoregressive gap.
+
+    Interactive LLM serving is closed-loop — the client reads the
+    previous response before issuing the next prompt — but the gap is
+    dominated by the *decode length* of that response, and output token
+    counts are famously heavy-tailed (most responses are short, a few
+    run for thousands of tokens).  Each think gap here is
+    ``interval_us`` scaled by a seeded Pareto multiplier:
+
+    ``gap = interval_us * min(tail_cap, 1 + X)``, with ``X`` Lomax
+    (``numpy`` Pareto) of shape ``tail_shape`` scaled so the multiplier
+    has mean ``tail_mean``.  Shape <= 1 would have an infinite mean, so
+    ``tail_shape`` must exceed 1; smaller shapes mean heavier tails.
+    The resulting stream alternates quick conversational bursts with
+    long silent stretches — exactly the bubble structure spatial-
+    temporal sharing exists to harvest.
+
+    Like every arrival process, :meth:`first_arrival` is a full
+    restart: the RNG rewinds with the issue counter, so draining and
+    incremental replay are byte-identical.
+    """
+
+    interval_us: float
+    max_requests: int
+    start_us: float = 0.0
+    tail_shape: float = 1.8
+    tail_mean: float = 3.0
+    tail_cap: float = 50.0
+    seed: int = 0
+    _issued: int = field(default=0, init=False)
+    _rng: object = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval_us < 0:
+            raise ValueError("interval must be non-negative")
+        if self.max_requests < 0:
+            raise ValueError("max_requests must be non-negative")
+        if self.tail_shape <= 1.0:
+            raise ValueError("tail_shape must be > 1 (finite-mean tail)")
+        if self.tail_mean < 1.0:
+            raise ValueError("tail_mean must be >= 1")
+        if self.tail_cap < self.tail_mean:
+            raise ValueError("tail_cap must be >= tail_mean")
+        self._reset_rng()
+
+    def _reset_rng(self) -> None:
+        import numpy as np
+
+        self._rng = np.random.default_rng(self.seed)
+
+    def _multiplier(self) -> float:
+        # E[Lomax(shape)] = 1 / (shape - 1); scale it so the full
+        # multiplier 1 + scale * X has mean tail_mean.
+        scale = (self.tail_mean - 1.0) * (self.tail_shape - 1.0)
+        draw = 1.0 + scale * float(self._rng.pareto(self.tail_shape))
+        return min(self.tail_cap, draw)
+
+    def first_arrival(self) -> Optional[float]:
+        if self.max_requests == 0:
+            return None
+        self._issued = 1
+        self._reset_rng()
+        return self.start_us
+
+    def next_arrival(
+        self, prev_arrival: float, prev_completion: float
+    ) -> Optional[float]:
+        if self._issued >= self.max_requests:
+            return None
+        self._issued += 1
+        return prev_completion + self.interval_us * self._multiplier()
+
+
+@dataclass
 class TraceReplay:
     """Open-loop replay of recorded arrival timestamps."""
 

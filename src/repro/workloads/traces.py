@@ -115,6 +115,45 @@ def azure_trace(
     return arrivals
 
 
+def flash_crowd_trace(
+    duration_us: float,
+    mean_interval_us: float,
+    seed: int = 0,
+    spike_start_frac: float = 0.4,
+    spike_duration_frac: float = 0.15,
+    spike_magnitude: float = 8.0,
+) -> List[float]:
+    """A steady stream with one flash-crowd window (scenario zoo).
+
+    Baseline Poisson arrivals at ``1 / mean_interval_us``; inside the
+    window ``[spike_start_frac, spike_start_frac + spike_duration_frac]``
+    (fractions of ``duration_us``) the rate jumps by
+    ``spike_magnitude``x — the breaking-news / product-launch shape that
+    stresses admission control far harder than a diurnal curve.  The
+    quoted mean interval is the *off-spike* baseline, so raising the
+    magnitude raises the offered load.
+    """
+    if mean_interval_us <= 0:
+        raise ValueError("mean_interval_us must be positive")
+    if spike_magnitude < 1.0:
+        raise ValueError("spike_magnitude must be >= 1")
+    if not 0.0 <= spike_start_frac < 1.0:
+        raise ValueError("spike_start_frac must be in [0, 1)")
+    if spike_duration_frac <= 0.0:
+        raise ValueError("spike_duration_frac must be positive")
+    rng = np.random.default_rng(seed)
+    base_rate = 1.0 / mean_interval_us
+    spike_start = spike_start_frac * duration_us
+    spike_end = spike_start + spike_duration_frac * duration_us
+
+    def rate(t: float) -> float:
+        if spike_start <= t < spike_end:
+            return base_rate * spike_magnitude
+        return base_rate
+
+    return _thinned_poisson(rng, duration_us, rate, base_rate * spike_magnitude)
+
+
 def mean_interarrival(trace: List[float]) -> float:
     """Average gap between consecutive arrivals (testing helper)."""
     if len(trace) < 2:

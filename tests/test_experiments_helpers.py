@@ -61,6 +61,21 @@ class TestCommon:
         # Columns separated and padded.
         assert lines[1].startswith("a  ")
 
+    def test_format_table_ragged_rows(self):
+        # Short rows pad with blanks; long rows grow blank-headed
+        # columns — heterogeneous dict renderers must never crash.
+        text = format_table(
+            ["a", "b"], [["x"], ["long-cell", "y", "extra"], []]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + rule + 3 rows
+        assert "extra" in lines[3]
+        # Every line padded to the same grid width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_format_table_empty(self):
+        assert format_table([], []) == "\n"
+
 
 class TestSquadLab:
     def test_build_and_measure_squad(self):

@@ -242,6 +242,103 @@ class TestRunCellsErrors:
         assert results[0].records and results[1].records
 
 
+class TestHostileEnv:
+    """Malformed environment values fail with messages naming the var."""
+
+    def test_malformed_repro_jobs_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS.*'many'"):
+            resolve_jobs(None)
+
+    def test_malformed_repro_jobs_describes_accepted_forms(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2.5")
+        with pytest.raises(ValueError, match="integer"):
+            resolve_jobs(None)
+
+    def test_malformed_repro_backend_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        with pytest.raises(ValueError, match="REPRO_BACKEND.*'threads'"):
+            resolve_backend(None)
+
+    def test_explicit_backend_error_unchanged(self, monkeypatch):
+        # The historical message for a bad *argument* stays pinned; only
+        # the env-sourced path names the variable.
+        monkeypatch.setenv("REPRO_BACKEND", "inproc")
+        with pytest.raises(ValueError, match="unknown backend 'threads'"):
+            resolve_backend("threads")
+
+
+class TestPoolEnvironmentKey:
+    """The cached pool must track every env var workers freeze at fork.
+
+    Forked workers snapshot ``os.environ`` at pool creation; systems
+    built inside them resolve ``REPRO_FAULT_PLAN``/``REPRO_FAULT_SEED``
+    from that snapshot.  With the pool keyed only on the worker count,
+    a grid run after an environment flip silently reused fault-free
+    workers — pool output diverged from serial.  Keyed on the full
+    worker-frozen signature, the pool rebuilds and matches.
+    """
+
+    def _cells(self, count=2):
+        apps = [
+            inference_app("R50").with_quota(0.5, app_id="app1"),
+            inference_app("R50").with_quota(0.5, app_id="app2"),
+        ]
+        bindings = partial(bind_load, apps, "A", 2)
+        return [_make_cell(f"cell{index}", bindings) for index in range(count)]
+
+    @pytest.fixture(autouse=True)
+    def _fresh_pool(self, monkeypatch):
+        from repro import parallel
+
+        for key in parallel._POOL_ENV_KEYS:
+            monkeypatch.delenv(key, raising=False)
+        parallel._reset_pool()
+        yield
+        parallel._reset_pool()
+
+    def test_fault_plan_flip_between_pooled_grids_matches_serial(
+        self, monkeypatch
+    ):
+        # Warm the pool with fault-free workers first — the regression
+        # needs live workers forked under the *old* environment.
+        clean = run_cells(self._cells(), jobs=2, backend="pool")
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "failure=0.5,retries=1,seed=3")
+        pooled = run_cells(self._cells(), jobs=2, backend="pool")
+        serial = run_cells(self._cells(), jobs=1)
+        for a, b in zip(pooled, serial):
+            assert result_fingerprint(a) == result_fingerprint(b)
+        # Teeth check: the plan visibly changed the output, so stale
+        # fault-free workers could not have produced `pooled`.
+        assert result_fingerprint(pooled[0]) != result_fingerprint(clean[0])
+
+    def test_env_flip_rebuilds_the_pool(self, monkeypatch):
+        from repro import parallel
+
+        run_cells(self._cells(), jobs=2, backend="pool")
+        generation = parallel._pool_generation
+        monkeypatch.setenv("REPRO_FAULT_SEED", "7")
+        run_cells(self._cells(), jobs=2, backend="pool")
+        assert parallel._pool_generation == generation + 1
+
+    def test_varied_grid_sizes_reuse_one_pool(self):
+        # Keyed on resolved jobs (not min(jobs, cells)), alternating
+        # small and large grids must not re-fork the pool per grid.
+        from repro import parallel
+
+        run_cells(self._cells(2), jobs=4, backend="pool")
+        generation = parallel._pool_generation
+        for count in (8, 2, 8, 2):
+            run_cells(self._cells(count), jobs=4, backend="pool")
+        assert parallel._pool_generation == generation
+
+    def test_wide_pool_small_grid_output_unchanged(self):
+        serial = run_cells(self._cells(2), jobs=1)
+        pooled = run_cells(self._cells(2), jobs=8, backend="pool")
+        for a, b in zip(serial, pooled):
+            assert result_fingerprint(a) == result_fingerprint(b)
+
+
 class TestGoldenFig13:
     def test_jobs1_output_matches_pre_overhaul_capture(self):
         """`python -m repro fig13 --jobs 1` (small) vs current main."""

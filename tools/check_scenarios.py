@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate every committed scenario document.
+
+For each spec file in the scenario zoo (``src/repro/scenarios/zoo/``)
+— plus any extra paths passed on the command line — this:
+
+* parses the document against the pinned schema version;
+* resolves every named component of every sweep point (apps, arrival
+  binders, fault plans, SLO builders, systems, placement policies),
+  building the workload bindings without running any simulation;
+* round-trips the spec (``load -> to_dict -> from_dict -> dumps``) and
+  checks the canonical serialization is stable.
+
+A zoo file that names a missing component, passes bad kwargs, or
+drifts from the schema fails here — in the docs/lint CI job — instead
+of halfway into someone's run.
+
+Usage: python tools/check_scenarios.py [spec.yaml ...]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def check(paths: List[Path]) -> List[str]:
+    from repro.scenarios import (
+        ScenarioError,
+        dumps,
+        from_dict,
+        load_scenario,
+        resolve_scenario,
+    )
+
+    errors: List[str] = []
+    for path in paths:
+        label = path.relative_to(ROOT) if path.is_relative_to(ROOT) else path
+        try:
+            spec = load_scenario(path)
+        except ScenarioError as error:
+            errors.append(f"{label}: {error}")
+            continue
+        if spec.name != path.stem:
+            errors.append(
+                f"{label}: spec name {spec.name!r} must match the file "
+                f"stem {path.stem!r} (zoo lookup is by stem)"
+            )
+        try:
+            summary = resolve_scenario(spec)
+        except ScenarioError as error:
+            errors.append(f"{label}: does not resolve: {error}")
+            continue
+        if dumps(from_dict(spec.to_dict())) != dumps(spec):
+            errors.append(f"{label}: canonical serialization is not stable")
+            continue
+        print(
+            f"  {label}: ok ({summary['points']} point(s), "
+            f"{summary['cells']} cell(s))"
+        )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    from repro.scenarios import zoo_dir
+
+    paths = [Path(arg).resolve() for arg in argv[1:]]
+    if not paths:
+        paths = sorted(
+            path
+            for path in zoo_dir().iterdir()
+            if path.suffix.lower() in (".yaml", ".yml", ".json")
+        )
+    if not paths:
+        print("no scenario documents found", file=sys.stderr)
+        return 1
+    errors = check(paths)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"\n{len(errors)} invalid scenario(s)", file=sys.stderr)
+        return 1
+    print(f"scenarios OK: {len(paths)} document(s) parse, resolve, round-trip")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
